@@ -1,0 +1,402 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the artifact end-to-end on the simulated cluster), the §5.3.2 ablations,
+// and substrate micro-benchmarks for the simulator itself.
+//
+// Artifact benches run at class W (Quick) so `go test -bench=.` completes
+// in seconds; cmd/reproduce regenerates the same artifacts at the paper's
+// class C.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/autosched"
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/mpisim"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/npb"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ------------------------------------------------------- paper artifacts
+
+func BenchmarkTable1OperatingPoints(b *testing.B) {
+	o := experiments.Default()
+	for i := 0; i < b.N; i++ {
+		if t := experiments.Table1(o); len(t.Rows) != 5 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+func BenchmarkFigure1PowerBreakdown(b *testing.B) {
+	o := experiments.Default()
+	for i := 0; i < b.N; i++ {
+		if f := experiments.Figure1(o); f.CPUShareLoad <= 0 {
+			b.Fatal("bad figure 1")
+		}
+	}
+}
+
+func BenchmarkFigure2SwimCrescendo(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Profiles(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.BuildProfiles(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t := ps.Table2(); len(t.Rows) != 16 {
+			b.Fatal("bad table 2")
+		}
+	}
+}
+
+func BenchmarkFigure5CPUSpeed(b *testing.B) {
+	o := experiments.Quick()
+	ps, err := experiments.BuildProfiles(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ps.Figure5(); len(t.Rows) == 0 {
+			b.Fatal("bad figure 5")
+		}
+	}
+}
+
+func benchSelection(b *testing.B, m metrics.Metric) {
+	b.Helper()
+	ps, err := experiments.BuildProfiles(experiments.Quick())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.SelectExternal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6ExternalED3P(b *testing.B) { benchSelection(b, metrics.ED3P) }
+func BenchmarkFigure7ExternalED2P(b *testing.B) { benchSelection(b, metrics.ED2P) }
+
+func BenchmarkFigure8Crescendos(b *testing.B) {
+	ps, err := experiments.BuildProfiles(experiments.Quick())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, _ := ps.Figure8(); len(res) != 8 {
+			b.Fatal("bad figure 8")
+		}
+	}
+}
+
+func BenchmarkFigure9FTTrace(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11FTInternal(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12CGTrace(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14CGInternal(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// -------------------------------------------------------------- ablations
+
+func BenchmarkAblationCGPhasePolicies(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []npb.CGPolicy{npb.CGCommSlow, npb.CGWaitSlow} {
+			w, err := npb.CGWithPolicy(o.Class, 8, pol, 1400, 600)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Run(w, core.NoDVS(), o.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationCPUSpeedVersions(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationCPUSpeed(o, "FT"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTransitionCost(b *testing.B) {
+	o := experiments.Quick()
+	lats := []time.Duration{10 * time.Microsecond, 30 * time.Microsecond, time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationTransitionCost(o, lats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------- extensions
+
+func BenchmarkX1AutoSchedule(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		w, err := npb.FT(o.Class, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := autosched.Tune(w, o.Config, autosched.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX2PredictiveDaemon(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.X2PredictiveDaemon(o, []string{"MG"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX3DiskSlack(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.X3DiskSlack(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX4OpteronProjection(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.X4Opteron(o, []string{"FT"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX5Scaling(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.X5Scaling(o, []int{2, 4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX6Reliability(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.X6Reliability(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX7PowerCap(b *testing.B) {
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.X7PowerCap(o, []float64{0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------- substrate benchmarks
+
+// BenchmarkSimKernelEvents measures raw event throughput of the
+// discrete-event kernel.
+func BenchmarkSimKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	n := 0
+	var tick func()
+	at := sim.Time(0)
+	tick = func() {
+		n++
+		if n < b.N {
+			at = at.Add(time.Microsecond)
+			k.At(at, tick)
+		}
+	}
+	k.At(0, tick)
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimProcSwitch measures proc suspend/resume round-trips.
+func BenchmarkSimProcSwitch(b *testing.B) {
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMPIPingPong measures simulated small-message round-trips.
+func BenchmarkMPIPingPong(b *testing.B) {
+	k := sim.NewKernel()
+	nodes := []*node.Node{
+		node.MustNew(k, 0, node.DefaultConfig()),
+		node.MustNew(k, 1, node.DefaultConfig()),
+	}
+	net := netsim.MustNew(k, netsim.DefaultConfig(2))
+	w, err := mpisim.NewWorld(k, net, nodes, mpisim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Launch("pingpong", func(r *mpisim.Rank) {
+		for i := 0; i < b.N; i++ {
+			if r.ID() == 0 {
+				r.Send(1, 0, 64)
+				r.Recv(1, 1)
+			} else {
+				r.Recv(0, 0)
+				r.Send(0, 1, 64)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMPIAlltoall measures a full 8-rank exchange per iteration.
+func BenchmarkMPIAlltoall(b *testing.B) {
+	k := sim.NewKernel()
+	var nodes []*node.Node
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, node.MustNew(k, i, node.DefaultConfig()))
+	}
+	net := netsim.MustNew(k, netsim.DefaultConfig(8))
+	w, err := mpisim.NewWorld(k, net, nodes, mpisim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Launch("alltoall", func(r *mpisim.Rank) {
+		for i := 0; i < b.N; i++ {
+			r.Alltoall(4096)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkNodeEnergyAccounting measures the power integrator under
+// frequent DVS transitions.
+func BenchmarkNodeEnergyAccounting(b *testing.B) {
+	k := sim.NewKernel()
+	n := node.MustNew(k, 0, node.DefaultConfig())
+	k.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := n.SetFrequencyIndex(i % 5); err != nil {
+				panic(err)
+			}
+			n.MemoryStall(p, 10*time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+	_ = n.Energy()
+}
+
+// BenchmarkDaemonDecision measures one cpuspeed poll+decide step.
+func BenchmarkDaemonDecision(b *testing.B) {
+	k := sim.NewKernel()
+	n := node.MustNew(k, 0, node.DefaultConfig())
+	cfg := sched.CPUSpeedV121()
+	cfg.Interval = time.Millisecond
+	d, err := sched.StartCPUSpeed(k, n, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.MemoryStall(p, time.Millisecond)
+		}
+		d.Stop()
+	})
+	b.ResetTimer()
+	if err := k.Run(sim.MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFullRunFT measures an end-to-end class W cluster run.
+func BenchmarkFullRunFT(b *testing.B) {
+	w, err := npb.FT(npb.ClassW, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(w, core.External(dvs.MHz(600)), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command dvsched runs one benchmark under one DVS scheduling strategy on
+// the simulated power-aware cluster and prints the measured energy, delay,
+// and per-node detail — the command-line face of the library.
+//
+// Usage:
+//
+//	dvsched -code FT                          # no DVS, class C, paper ranks
+//	dvsched -code FT -strategy external -freq 600
+//	dvsched -code FT -strategy daemon -daemon-version 1.2.1
+//	dvsched -code FT -strategy internal -high 1400 -low 600
+//	dvsched -code CG -strategy internal -high 1200 -low 800
+//	dvsched -code FT -strategy ondemand       # the in-kernel governor
+//	dvsched -code MG -strategy predictive     # the X2 phase predictor
+//	dvsched -code FT -strategy powercap -budget 200
+//	dvsched -code FT -strategy auto-tune      # X1 middleware, zero source changes
+//	dvsched -code CG -trace                   # print an MPE-style trace
+//	dvsched -code FT -baseline                # also run 1400 and normalize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/autosched"
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/npb"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	code := flag.String("code", "FT", "benchmark code (BT CG EP FT IS LU MG SP SWIM)")
+	classFlag := flag.String("class", "C", "problem class (S W A B C)")
+	ranks := flag.Int("ranks", 0, "rank count (0 = the paper's count for the code)")
+	strategy := flag.String("strategy", "none",
+		"none | external | daemon | internal | ondemand | predictive | powercap | auto-tune")
+	freq := flag.Float64("freq", 600, "external: static frequency in MHz")
+	version := flag.String("daemon-version", "1.2.1", "daemon: cpuspeed version (1.1 | 1.2.1)")
+	budget := flag.Float64("budget", 200, "powercap: cluster budget in watts")
+	high := flag.Float64("high", 1400, "internal: high speed in MHz")
+	low := flag.Float64("low", 600, "internal: low speed in MHz")
+	baseline := flag.Bool("baseline", false, "also run the 1400 MHz baseline and print normalized values")
+	traceFlag := flag.Bool("trace", false, "collect and print an MPE-style trace")
+	flag.Parse()
+
+	class := npb.Class((*classFlag)[0])
+	n := *ranks
+	if n == 0 {
+		n = npb.PaperRanks(*code)
+	}
+
+	var w npb.Workload
+	var err error
+	strat := core.NoDVS()
+	switch *strategy {
+	case "none":
+		w, err = npb.New(*code, class, n)
+	case "external":
+		w, err = npb.New(*code, class, n)
+		strat = core.External(dvs.MHz(*freq))
+	case "daemon":
+		w, err = npb.New(*code, class, n)
+		switch *version {
+		case "1.1":
+			strat = core.Daemon(sched.CPUSpeedV11())
+		case "1.2.1":
+			strat = core.Daemon(sched.CPUSpeedV121())
+		default:
+			fatal(fmt.Errorf("unknown cpuspeed version %q", *version))
+		}
+	case "internal":
+		switch *code {
+		case "FT":
+			w, err = npb.FTInternal(class, n, dvs.MHz(*high), dvs.MHz(*low))
+		case "CG":
+			w, err = npb.CGInternal(class, n, dvs.MHz(*high), dvs.MHz(*low))
+		default:
+			fatal(fmt.Errorf("internal scheduling variants exist for FT and CG (paper §5.3), not %s; try auto-tune", *code))
+		}
+	case "ondemand":
+		w, err = npb.New(*code, class, n)
+		strat = core.OnDemand(sched.DefaultOnDemand())
+	case "predictive":
+		w, err = npb.New(*code, class, n)
+		strat = core.Predictive(sched.DefaultPredictive())
+	case "powercap":
+		w, err = npb.New(*code, class, n)
+		strat = core.PowerCap(sched.DefaultPowerCap(*budget))
+	case "auto-tune":
+		w, err = npb.New(*code, class, n)
+		if err != nil {
+			fatal(err)
+		}
+		res, terr := autosched.Tune(w, core.DefaultConfig(), autosched.DefaultConfig())
+		if terr != nil {
+			fatal(terr)
+		}
+		for _, line := range res.Schedule.Rationale {
+			fmt.Println("auto-tune:", line)
+		}
+		fmt.Printf("%s auto-tuned: delay %.3f, energy %.3f (%s saving)\n",
+			res.Tuned.Name, res.Normalized.Delay, res.Normalized.Energy,
+			report.Pct(1-res.Normalized.Energy))
+		return
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	var log *trace.Log
+	if *traceFlag {
+		log = trace.New(w.Ranks)
+		cfg.Tracer = log
+	}
+
+	res, err := core.Run(w, strat, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s under %s: time-to-solution %.2fs, cluster energy %.0f J (avg %.1f W, %d DVS transitions)\n",
+		res.Name, res.Strategy, res.Elapsed.Seconds(), res.Energy, res.AvgPower(), res.Transitions)
+
+	t := report.NewTable("per-node detail", "node", "energy J", "CPU J", "mem J", "NIC J", "base J", "compute s", "comm s")
+	for i, e := range res.NodeEnergy {
+		st := res.RankStats[i]
+		t.AddRow(fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.0f", e.Total()), fmt.Sprintf("%.0f", e.CPU),
+			fmt.Sprintf("%.0f", e.Memory), fmt.Sprintf("%.0f", e.NIC), fmt.Sprintf("%.0f", e.Base),
+			fmt.Sprintf("%.2f", st.Compute.Seconds()), fmt.Sprintf("%.2f", st.CommTime().Seconds()))
+	}
+	fmt.Println(t.String())
+
+	if *baseline {
+		wb, err := npb.New(*code, class, n)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := core.Run(wb, core.NoDVS(), core.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		nr := core.Normalize(res, base)
+		fmt.Printf("normalized to 1400 MHz: delay %.3f (%s), energy %.3f (%s saving)\n",
+			nr.Delay, report.Pct(nr.Delay-1), nr.Energy, report.Pct(1-nr.Energy))
+	}
+
+	if log != nil {
+		fmt.Println(log.Render(100))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command nemo drives parameter sweeps over the simulated cluster:
+// arbitrary code × class × rank-count × frequency grids, with CSV output
+// for plotting. It is the general-purpose study driver; cmd/reproduce is
+// the fixed paper-artifact generator.
+//
+// Usage:
+//
+//	nemo -codes FT,CG -classes W,A -ranks 4,8,16 -freqs 600,1000,1400
+//	nemo -codes FT -classes C -ranks 8 -freqs all -auto -csv ft.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/netsim"
+	"repro/internal/npb"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+func main() {
+	codes := flag.String("codes", "FT", "comma-separated benchmark codes")
+	classes := flag.String("classes", "W", "comma-separated problem classes")
+	ranksFlag := flag.String("ranks", "8", "comma-separated rank counts (0 = paper count)")
+	freqs := flag.String("freqs", "all", "comma-separated MHz values, or 'all'")
+	auto := flag.Bool("auto", false, "also run the CPUSPEED daemon")
+	topology := flag.String("topology", "single", "interconnect: single | two-tier")
+	csvPath := flag.String("csv", "", "write results to this CSV file")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *topology {
+	case "single":
+	case "two-tier":
+		cfg.Net.Topology = netsim.TwoTier
+		cfg.Net.TwoTier = netsim.DefaultTwoTier()
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topology))
+	}
+	var fs []dvs.MHz
+	if *freqs == "all" {
+		fs = cfg.Node.Table.Frequencies()
+	} else {
+		for _, s := range strings.Split(*freqs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(err)
+			}
+			fs = append(fs, dvs.MHz(v))
+		}
+	}
+
+	t := report.NewTable("NEMO sweep", "workload", "setting", "time s", "energy J", "avg W",
+		"norm delay", "norm energy")
+	for _, code := range splitList(*codes) {
+		for _, cl := range splitList(*classes) {
+			class := npb.Class(cl[0])
+			for _, rs := range splitList(*ranksFlag) {
+				n, err := strconv.Atoi(rs)
+				if err != nil {
+					fatal(err)
+				}
+				if n == 0 {
+					n = npb.PaperRanks(code)
+				}
+				w, err := npb.New(code, class, n)
+				if err != nil {
+					fatal(err)
+				}
+				base, err := core.Run(w, core.NoDVS(), cfg)
+				if err != nil {
+					fatal(err)
+				}
+				addRow(t, base, base)
+				for _, f := range fs {
+					if f == cfg.Node.Table.Top().Frequency {
+						continue
+					}
+					r, err := core.Run(w, core.External(f), cfg)
+					if err != nil {
+						fatal(err)
+					}
+					addRow(t, r, base)
+				}
+				if *auto {
+					r, err := core.Run(w, core.Daemon(sched.CPUSpeedV121()), cfg)
+					if err != nil {
+						fatal(err)
+					}
+					addRow(t, r, base)
+				}
+			}
+		}
+	}
+	fmt.Println(t.String())
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := t.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}
+
+func addRow(t *report.Table, r, base core.Result) {
+	n := core.Normalize(r, base)
+	t.AddRow(r.Name, r.Strategy,
+		fmt.Sprintf("%.2f", r.Elapsed.Seconds()),
+		fmt.Sprintf("%.0f", r.Energy),
+		fmt.Sprintf("%.1f", r.AvgPower()),
+		report.Norm(n.Delay), report.Norm(n.Energy))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nemo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command powerprof runs a benchmark on the fully instrumented cluster —
+// ACPI batteries, Baytech strip, power-profile collector — and emits the
+// measurement plus the aligned per-node power profile, reproducing the
+// PowerPack data-collection workflow end to end (§4.2–4.3).
+//
+// Usage:
+//
+//	powerprof -code FT -class B                       # print summary + profile
+//	powerprof -code FT -profile ft.csv -json ft.json  # export artifacts
+//	powerprof -code CG -strategy external -freq 800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/npb"
+	"repro/internal/powerpack"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+func main() {
+	code := flag.String("code", "FT", "benchmark code")
+	classFlag := flag.String("class", "B", "problem class")
+	ranks := flag.Int("ranks", 0, "rank count (0 = paper count)")
+	strategy := flag.String("strategy", "none", "none | external | daemon | predictive")
+	freq := flag.Float64("freq", 600, "external: MHz")
+	sample := flag.Duration("sample", time.Second, "profile sampling period")
+	warmup := flag.Duration("warmup", 5*time.Minute, "pre-measurement idle (the paper used ~5 min)")
+	profilePath := flag.String("profile", "", "write the power profile CSV here")
+	jsonPath := flag.String("json", "", "write the measurement JSON here")
+	flag.Parse()
+
+	n := *ranks
+	if n == 0 {
+		n = npb.PaperRanks(*code)
+	}
+	w, err := npb.New(*code, npb.Class((*classFlag)[0]), n)
+	if err != nil {
+		fatal(err)
+	}
+	strat := core.NoDVS()
+	switch *strategy {
+	case "none":
+	case "external":
+		strat = core.External(dvs.MHz(*freq))
+	case "daemon":
+		strat = core.Daemon(sched.CPUSpeedV121())
+	case "predictive":
+		strat = core.Predictive(sched.DefaultPredictive())
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	res, err := core.RunInstrumented(w, strat, core.DefaultConfig(), *sample, *warmup)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := res.Measurement
+	fmt.Printf("%s under %s: %.2f s\n", res.Name, res.Strategy, res.Elapsed.Seconds())
+	fmt.Printf("  ACPI batteries : %.1f J\n", m.ACPI)
+	fmt.Printf("  Baytech strip  : %.1f J\n", m.Baytech)
+	fmt.Printf("  ground truth   : %.1f J\n", m.True)
+	fmt.Printf("  ACPI error     : %.2f%% (quantization bound %.1f J for %d nodes)\n",
+		(m.ACPI-m.True)/m.True*100, powerpack.MaxQuantizationError(n), n)
+
+	rows := powerpack.Align(res.Profile, n)
+	t := report.NewTable("cluster power profile (aligned)", "t", "total W", "min node W", "max node W")
+	step := len(rows)/12 + 1
+	for i := 0; i < len(rows); i += step {
+		row := rows[i]
+		lo, hi := row.Watts[0], row.Watts[0]
+		for _, v := range row.Watts {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.0fs", row.At.Seconds()),
+			fmt.Sprintf("%.1f", row.Total), fmt.Sprintf("%.1f", lo), fmt.Sprintf("%.1f", hi))
+	}
+	fmt.Println(t.String())
+
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := powerpack.WriteSamplesCSV(f, res.Profile); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *profilePath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := powerpack.WriteMeasurementJSON(f, m); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,266 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation on the simulated NEMO cluster and prints them with deltas
+// against the published values.
+//
+// Usage:
+//
+//	reproduce               # everything, class C
+//	reproduce -only t2,f11  # selected artifacts
+//	reproduce -class W      # faster, smaller problem class
+//	reproduce -csv out/     # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/npb"
+	"repro/internal/report"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated artifact ids (t1,f1,f2,f5,t2,f6,f7,f8,f9,f11,f12,f14,a1,a2,a3,x1,x2,x3,x4,x5,x6,x7); empty = paper artifacts; 'all' adds the extensions")
+	classFlag := flag.String("class", "C", "problem class (S, W, A, B, C)")
+	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
+	mdPath := flag.String("md", "", "also write all tables to this markdown file")
+	flag.Parse()
+
+	o := experiments.Default()
+	o.Class = npb.Class((*classFlag)[0])
+	if !o.Class.Valid() {
+		fatal(fmt.Errorf("unknown class %q", *classFlag))
+	}
+
+	want := map[string]bool{}
+	everything := false
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id == "all" {
+			everything = true
+			continue
+		}
+		if id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool {
+		if everything {
+			return true
+		}
+		if len(want) > 0 {
+			return want[id]
+		}
+		// Default: the paper's artifacts, not the extensions.
+		return !strings.HasPrefix(id, "x")
+	}
+
+	var csv []*report.Table
+	emit := func(t *report.Table) {
+		fmt.Println(t.String())
+		csv = append(csv, t)
+	}
+
+	if sel("t1") {
+		emit(experiments.Table1(o))
+	}
+	if sel("f1") {
+		emit(experiments.Figure1(o).Render())
+	}
+	if sel("f2") {
+		c, err := experiments.Figure2(o)
+		if err != nil {
+			fatal(err)
+		}
+		t := c.Render()
+		t.Title = "Figure 2: " + t.Title
+		emit(t)
+	}
+
+	needProfiles := sel("t2") || sel("f5") || sel("f6") || sel("f7") || sel("f8")
+	var ps *experiments.ProfileSet
+	if needProfiles {
+		start := time.Now()
+		var err error
+		ps, err = experiments.BuildProfiles(o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(profiled %d codes x 6 settings in %.1fs wall)\n\n",
+			len(experiments.NPBCodes), time.Since(start).Seconds())
+	}
+	if sel("f5") {
+		emit(ps.Figure5())
+	}
+	if sel("t2") {
+		emit(ps.Table2())
+	}
+	if sel("f6") {
+		sels, err := ps.SelectExternal(metrics.ED3P)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RenderSelections("Figure 6: EXTERNAL control with ED3P selection", sels))
+	}
+	if sel("f7") {
+		sels, err := ps.SelectExternal(metrics.ED2P)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RenderSelections("Figure 7: EXTERNAL control with ED2P selection", sels))
+	}
+	if sel("f8") {
+		_, t := ps.Figure8()
+		emit(t)
+	}
+	if sel("f9") {
+		tr, err := experiments.Figure9(o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.Render("Figure 9: FT performance trace (MPE/Jumpshot analogue)", 100))
+	}
+	if sel("f11") {
+		c, err := experiments.Figure11(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(c.Render("Figure 11: FT — INTERNAL vs EXTERNAL vs CPUSPEED"))
+	}
+	if sel("f12") {
+		tr, err := experiments.Figure12(o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.Render("Figure 12: CG performance trace (MPE/Jumpshot analogue)", 100))
+	}
+	if sel("f14") {
+		c, err := experiments.Figure14(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(c.Render("Figure 14: CG — INTERNAL I/II vs phase policies vs EXTERNAL vs CPUSPEED"))
+	}
+	if sel("a2") || sel("a1") {
+		t := report.NewTable("Ablation: CPUSPEED v1.1 vs v1.2.1 (per code)",
+			"code", "v1.1 D/E", "v1.2.1 D/E")
+		for _, code := range experiments.NPBCodes {
+			v11, v121, err := experiments.AblationCPUSpeed(o, code)
+			if err != nil {
+				fatal(err)
+			}
+			t.AddRow(code,
+				fmt.Sprintf("%s/%s", report.Norm(v11.Delay), report.Norm(v11.Energy)),
+				fmt.Sprintf("%s/%s", report.Norm(v121.Delay), report.Norm(v121.Energy)))
+		}
+		t.AddNote("paper §5.1: v1.1 'always chooses the highest CPU speed' — D/E ≈ 1/1")
+		emit(t)
+	}
+	if sel("a3") {
+		t, _, err := experiments.AblationTransitionCost(o, []time.Duration{
+			10 * time.Microsecond, 30 * time.Microsecond, 100 * time.Microsecond,
+			time.Millisecond, 10 * time.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+
+	if sel("x1") {
+		t, _, err := experiments.X1AutoSchedule(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if sel("x2") {
+		t, _, err := experiments.X2PredictiveDaemon(o, experiments.NPBCodes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if sel("x3") {
+		t, _, err := experiments.X3DiskSlack(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if sel("x4") {
+		t, _, err := experiments.X4Opteron(o, experiments.NPBCodes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if sel("x5") {
+		t, _, err := experiments.X5Scaling(o, []int{2, 4, 8, 16})
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if sel("x6") {
+		t, _, err := experiments.X6Reliability(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if sel("x7") {
+		t, _, err := experiments.X7PowerCap(o, []float64{0.9, 0.8, 0.7, 0.6})
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "# Reproduction artifacts (class %c)\n\n", o.Class)
+		for _, t := range csv {
+			if err := t.WriteMarkdown(f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d markdown tables to %s\n", len(csv), *mdPath)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, t := range csv {
+			name := filepath.Join(*csvDir, fmt.Sprintf("table_%02d.csv", i))
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d CSV files to %s\n", len(csv), *csvDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Crescendo: reproduce Figure 2 — the single-node energy-delay crescendo
+// of the memory-bound SPEC `swim` code — then sweep every NPB kernel and
+// classify its crescendo into the paper's Type I-IV taxonomy (Figure 8).
+//
+//	go run ./examples/crescendo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/npb"
+)
+
+func main() {
+	o := experiments.Default()
+
+	// Figure 2: swim on one NEMO node, all five operating points.
+	swim, err := experiments.Figure2(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(swim.Render().String())
+	fmt.Println("Reading the crescendo right-to-left: memory stalls leave CPU slack,")
+	fmt.Println("so frequency cuts save energy faster than they cost time.")
+	fmt.Println()
+
+	// Figure 8: the full NPB taxonomy at a smaller class for speed.
+	o.Class = npb.ClassA
+	ps, err := experiments.BuildProfiles(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, table := ps.Figure8()
+	fmt.Println(table.String())
+	fmt.Println("Type III/IV codes (FT, CG, SP, IS) are where DVS pays; Type I/II are not.")
+}

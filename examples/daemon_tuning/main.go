@@ -1,0 +1,85 @@
+// Daemon tuning study — the paper's future work ("we intend to study the
+// effects of varying thresholds for applications that perform poorly").
+//
+// Sweeps the CPUSPEED daemon's polling interval and step pivot across the
+// NPB codes and shows the efficiency frontier: short intervals chase phase
+// noise (v1.1's failure mode), long intervals lag phase changes, and the
+// pivot decides which codes sink to low speeds.
+//
+//	go run ./examples/daemon_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/npb"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	class := npb.ClassB
+	codes := []string{"FT", "CG", "MG", "EP"}
+
+	bases := map[string]core.Result{}
+	works := map[string]npb.Workload{}
+	for _, code := range codes {
+		w, err := npb.New(code, class, npb.PaperRanks(code))
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := core.Run(w, core.NoDVS(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		works[code], bases[code] = w, base
+	}
+
+	t := report.NewTable("CPUSPEED threshold/interval sensitivity (delay/energy, ED2P)",
+		append([]string{"interval", "pivot"}, codes...)...)
+	intervals := []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second, 8 * time.Second}
+	pivots := []float64{0.25, 0.50, 0.70, 0.90}
+	type best struct {
+		interval time.Duration
+		pivot    float64
+		ed2p     float64
+	}
+	bests := map[string]best{}
+	for _, iv := range intervals {
+		for _, pv := range pivots {
+			dcfg := sched.CPUSpeedConfig{
+				Interval:       iv,
+				MinThreshold:   0.05,
+				MaxThreshold:   0.95,
+				UsageThreshold: pv,
+			}
+			row := []string{iv.String(), fmt.Sprintf("%.0f%%", pv*100)}
+			for _, code := range codes {
+				r, err := core.Run(works[code], core.Daemon(dcfg), cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				n := core.Normalize(r, bases[code])
+				row = append(row, fmt.Sprintf("%s/%s", report.Norm(n.Delay), report.Norm(n.Energy)))
+				v := metrics.ED2P.Eval(n.Delay, n.Energy)
+				if b, ok := bests[code]; !ok || v < b.ed2p {
+					bests[code] = best{iv, pv, v}
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	fmt.Println(t.String())
+	for _, code := range codes {
+		b := bests[code]
+		fmt.Printf("best ED2P for %s: interval %v, pivot %.0f%% (ED2P %.3f)\n",
+			code, b.interval, b.pivot*100, b.ed2p)
+	}
+	fmt.Println("\nno single setting wins everywhere — the paper's conclusion that")
+	fmt.Println("history-based daemons need per-application tuning.")
+}

@@ -1,0 +1,166 @@
+package repro
+
+// Cross-cutting integration tests: every benchmark under every strategy,
+// system-wide invariants that no single package can check alone.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/npb"
+	"repro/internal/sched"
+)
+
+// allStrategies enumerates every scheduling approach with test-friendly
+// parameters.
+func allStrategies() map[string]core.Strategy {
+	return map[string]core.Strategy{
+		"none":       core.NoDVS(),
+		"external":   core.External(800),
+		"per-node":   core.ExternalPerNode(map[int]dvs.MHz{0: 800, 1: 600}),
+		"daemon":     core.Daemon(sched.CPUSpeedV121()),
+		"ondemand":   core.OnDemand(sched.DefaultOnDemand()),
+		"predictive": core.Predictive(sched.DefaultPredictive()),
+		"powercap":   core.PowerCap(sched.DefaultPowerCap(150)),
+	}
+}
+
+func TestEveryCodeUnderEveryStrategy(t *testing.T) {
+	cfg := core.DefaultConfig()
+	for _, code := range npb.Codes() {
+		w, err := npb.New(code, npb.ClassS, npb.PaperRanks(code))
+		if err != nil {
+			t.Fatalf("%s: %v", code, err)
+		}
+		for name, strat := range allStrategies() {
+			r, err := core.Run(w, strat, cfg)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", code, name, err)
+			}
+			if r.Elapsed <= 0 || r.Energy <= 0 {
+				t.Errorf("%s under %s: empty result", code, name)
+			}
+			// Energy must equal the sum of per-node component energies.
+			var sum float64
+			for _, e := range r.NodeEnergy {
+				sum += e.CPU + e.Memory + e.NIC + e.Disk + e.Base
+			}
+			if math.Abs(sum-r.Energy) > 1e-6 {
+				t.Errorf("%s under %s: component sum %.6f != total %.6f", code, name, sum, r.Energy)
+			}
+			// Thermal stats exist and are physical.
+			for i, th := range r.Thermal {
+				if th.AvgC < 20 || th.MaxC > 120 || th.LifetimeFactor <= 0 {
+					t.Errorf("%s under %s node %d: implausible thermal %+v", code, name, i, th)
+				}
+			}
+		}
+	}
+}
+
+func TestDelayMonotoneInFrequencyForAllCodes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	for _, code := range npb.Codes() {
+		if code == "SWIM" {
+			continue // single-node, covered by Figure 2 tests
+		}
+		w, err := npb.New(code, npb.ClassW, npb.PaperRanks(code))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev float64 = -1
+		for _, f := range cfg.Node.Table.Frequencies() {
+			r, err := core.Run(w, core.External(f), cfg)
+			if err != nil {
+				t.Fatalf("%s at %v: %v", code, f, err)
+			}
+			sec := r.Elapsed.Seconds()
+			if prev > 0 && sec > prev*1.001 {
+				t.Errorf("%s: delay increased with frequency (%v)", code, f)
+			}
+			prev = sec
+		}
+	}
+}
+
+func TestEnergyMonotoneInFrequencyForSlackCodes(t *testing.T) {
+	// Type III/IV codes: absolute energy falls monotonically with
+	// frequency (more slack at every step down).
+	cfg := core.DefaultConfig()
+	for _, code := range []string{"FT", "CG", "IS", "SP"} {
+		w, err := npb.New(code, npb.ClassW, npb.PaperRanks(code))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev float64 = -1
+		for _, f := range cfg.Node.Table.Frequencies() {
+			r, err := core.Run(w, core.External(f), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev > 0 && r.Energy < prev*0.999 {
+				t.Errorf("%s: energy fell when raising frequency to %v", code, f)
+			}
+			prev = r.Energy
+		}
+	}
+}
+
+func TestStrategiesDeterministicEndToEnd(t *testing.T) {
+	cfg := core.DefaultConfig()
+	w, err := npb.CG(npb.ClassS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, strat := range allStrategies() {
+		if name == "per-node" {
+			continue // map iteration order is irrelevant to the run itself
+		}
+		a, err := core.Run(w, strat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Run(w, strat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Elapsed != b.Elapsed || a.Energy != b.Energy || a.Transitions != b.Transitions {
+			t.Errorf("%s: nondeterministic (%v/%v/%d vs %v/%v/%d)",
+				name, a.Elapsed, a.Energy, a.Transitions, b.Elapsed, b.Energy, b.Transitions)
+		}
+	}
+}
+
+func TestNoStrategyBeatsPhysics(t *testing.T) {
+	// Delay can never drop below the all-top baseline (our network has no
+	// frequency-dependent collisions at these scales), and energy can
+	// never drop below running every phase at the bottom point's power
+	// for the baseline duration.
+	cfg := core.DefaultConfig()
+	w, err := npb.FT(npb.ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Run(w, core.NoDVS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorRun, err := core.Run(w, core.External(600), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, strat := range allStrategies() {
+		r, err := core.Run(w, strat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Elapsed < base.Elapsed-base.Elapsed/1000 {
+			t.Errorf("%s: faster than physics (%v < %v)", name, r.Elapsed, base.Elapsed)
+		}
+		if r.Energy < floorRun.Energy*0.9 {
+			t.Errorf("%s: cheaper than the all-bottom run (%.0f < %.0f)", name, r.Energy, floorRun.Energy)
+		}
+	}
+}

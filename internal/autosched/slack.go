@@ -1,0 +1,82 @@
+package autosched
+
+import (
+	"fmt"
+
+	"repro/internal/dvs"
+	"repro/internal/micro"
+)
+
+// AnalyzeSlack derives a heterogeneous schedule by per-rank slack
+// reclamation — the critical-path idea of Chen et al. (paper §6: "scaling
+// down the CPU speed on nodes that are not in the critical path so that
+// energy can be saved without performance penalty").
+//
+// Only slack *relative to the critical path* is reclaimable: every rank
+// waits while wires drain, but the busiest rank's waits are the machine's
+// bottleneck, not spare time. With s = own wait share − the minimum wait
+// share across ranks, a rank can absorb compute stretch up to margin·s
+// before it touches the critical path: slowing its compute share c from
+// f_top to f adds c·(f_top/f − 1) of normalized time, so the slowest
+// admissible frequency satisfies
+//
+//	c·(f_top/f − 1) ≤ margin·s  ⇒  f ≥ c·f_top / (c + margin·s)
+//
+// Ranks with no relative slack stay at top speed. margin < 1 keeps
+// headroom for the second-order effects (transition stalls, stretched
+// message overheads) the closed form ignores.
+func AnalyzeSlack(p *Profile, table dvs.Table, margin float64) (Schedule, error) {
+	if margin <= 0 || margin > 1 {
+		return Schedule{}, fmt.Errorf("autosched: slack margin must be in (0, 1], got %v", margin)
+	}
+	if len(p.RankMixes) == 0 {
+		return Schedule{}, fmt.Errorf("autosched: profile has no ranks")
+	}
+	top := table.Top().Frequency
+	s := Schedule{
+		Workload: p.Workload,
+		WrapOps:  map[PhaseKey]bool{},
+		WrapLow:  table.Bottom().Frequency,
+	}
+	minWait := p.RankMixes[0].Comm
+	for _, mix := range p.RankMixes[1:] {
+		if mix.Comm < minWait {
+			minWait = mix.Comm
+		}
+	}
+	for rank, mix := range p.RankMixes {
+		rel := mix
+		rel.Comm -= minWait
+		f := slackFrequency(rel, top, margin)
+		idx := table.Nearest(f)
+		// Never round below the admissible bound: prefer the next point up.
+		for idx < len(table)-1 && table[idx].Frequency < f {
+			idx++
+		}
+		s.PerRank = append(s.PerRank, table[idx].Frequency)
+		if table[idx].Frequency != top {
+			s.Rationale = append(s.Rationale,
+				fmt.Sprintf("rank %d: relative slack %.2f admits %v MHz (compute share %.2f)",
+					rank, rel.Comm, float64(table[idx].Frequency), mix.CPU))
+		}
+	}
+	s.Heterogeneous = heteroFreqs(s.PerRank)
+	if s.NoOp(table) {
+		s.Rationale = append(s.Rationale, "no rank has reclaimable slack: all stay at top speed")
+	}
+	return s, nil
+}
+
+// slackFrequency returns the minimum admissible frequency for a mix.
+func slackFrequency(m micro.Mix, top dvs.MHz, margin float64) dvs.MHz {
+	slack := margin * m.Comm
+	c := m.CPU
+	if c <= 0 {
+		// No frequency-sensitive work at all: the bottom point is free.
+		return 0
+	}
+	if slack <= 0 {
+		return top
+	}
+	return dvs.MHz(c * float64(top) / (c + slack))
+}

@@ -1,0 +1,120 @@
+package autosched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/micro"
+	"repro/internal/npb"
+)
+
+func TestAnalyzeSlackValidation(t *testing.T) {
+	table := dvs.PentiumM14()
+	p := &Profile{RankMixes: []micro.Mix{{CPU: 1}}}
+	if _, err := AnalyzeSlack(p, table, 0); err == nil {
+		t.Error("zero margin accepted")
+	}
+	if _, err := AnalyzeSlack(p, table, 1.5); err == nil {
+		t.Error("margin > 1 accepted")
+	}
+	if _, err := AnalyzeSlack(&Profile{}, table, 0.5); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestSlackFrequencyBounds(t *testing.T) {
+	// Pure compute: stays at top. Pure wait: bottoms out.
+	if f := slackFrequency(micro.Mix{CPU: 1}, 1400, 0.5); f != 1400 {
+		t.Errorf("pure compute → %v", f)
+	}
+	if f := slackFrequency(micro.Mix{Comm: 1}, 1400, 0.5); f != 0 {
+		t.Errorf("pure wait → %v", f)
+	}
+	// c=0.1 with relative slack 0.67, margin 0.5 → f ≥ 0.1·1400/(0.1+0.335) ≈ 322.
+	f := slackFrequency(micro.Mix{CPU: 0.1, Comm: 0.67}, 1400, 0.5)
+	if f < 300 || f > 350 {
+		t.Errorf("admissible frequency %v", f)
+	}
+}
+
+func TestSlackScheduleEP(t *testing.T) {
+	w, err := npb.EP(npb.ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileWorkload(w, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AnalyzeSlack(p, dvs.PentiumM14(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.NoOp(dvs.PentiumM14()) {
+		t.Fatalf("EP slack schedule not a no-op: %v", s.PerRank)
+	}
+}
+
+func TestSlackScheduleCGIsHeterogeneous(t *testing.T) {
+	w, err := npb.CG(npb.ClassB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	p, err := ProfileWorkload(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AnalyzeSlack(p, cfg.Node.Table, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Light (wait-heavy) ranks 4-7 get a speed no higher than heavy ranks.
+	if s.PerRank[4] > s.PerRank[0] {
+		t.Fatalf("slack speeds inverted: %v", s.PerRank)
+	}
+	// Applying the schedule must respect the performance constraint.
+	base, err := core.Run(w, core.NoDVS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := w.WithPolicy("slack", s.Policy(w.Ranks))
+	res, err := core.Run(tuned, core.NoDVS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := core.Normalize(res, base)
+	if n.Delay > 1.10 {
+		t.Errorf("slack schedule delay %.3f exceeds the reclaimable bound", n.Delay)
+	}
+	if n.Energy >= 1.0 {
+		t.Errorf("slack schedule saved nothing: %.3f", n.Energy)
+	}
+}
+
+func TestSlackMarginMonotone(t *testing.T) {
+	// A bigger margin admits equal-or-lower frequencies on every rank.
+	w, err := npb.CG(npb.ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileWorkload(w, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := dvs.PentiumM14()
+	tight, err := AnalyzeSlack(p, table, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := AnalyzeSlack(p, table, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tight.PerRank {
+		if loose.PerRank[i] > tight.PerRank[i] {
+			t.Fatalf("rank %d: loose %v above tight %v", i, loose.PerRank[i], tight.PerRank[i])
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package core is the library façade: it assembles a simulated power-aware
+// cluster (nodes, interconnect, MPI world), applies a DVS scheduling
+// strategy, runs a workload, and returns measured energy and delay.
+//
+// This is the API a downstream user calls:
+//
+//	w, _ := npb.FT(npb.ClassC, 8)
+//	res, _ := core.Run(w, core.External(600), core.DefaultConfig())
+//	base, _ := core.Run(w, core.NoDVS(), core.DefaultConfig())
+//	n := core.Normalize(res, base) // → normalized delay & energy
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dvs"
+	"repro/internal/mpisim"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/npb"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// StrategyKind enumerates the paper's scheduling strategies.
+type StrategyKind int
+
+const (
+	// KindNoDVS runs every node at top speed (the normalization baseline).
+	KindNoDVS StrategyKind = iota
+	// KindExternal sets a static frequency on every node before the run.
+	KindExternal
+	// KindExternalPerNode sets static per-node frequencies before the run.
+	KindExternalPerNode
+	// KindDaemon runs the CPUSPEED daemon on every node.
+	KindDaemon
+	// KindPredictive runs the phase-aware predictive daemon (the paper's
+	// future-work direction) on every node.
+	KindPredictive
+	// KindOnDemand runs the in-kernel ondemand governor that superseded
+	// cpuspeed, for historical comparison.
+	KindOnDemand
+	// KindPowerCap runs a cluster-level power-capping controller.
+	KindPowerCap
+)
+
+// Strategy selects and parameterizes a scheduling strategy. INTERNAL
+// scheduling is expressed in the workload itself (npb.FTInternal,
+// npb.CGInternal, ...) and is typically combined with NoDVS here.
+type Strategy struct {
+	Kind       StrategyKind
+	Freq       dvs.MHz                // KindExternal
+	PerNode    map[int]dvs.MHz        // KindExternalPerNode
+	Daemon     sched.CPUSpeedConfig   // KindDaemon
+	Predictive sched.PredictiveConfig // KindPredictive
+	OnDemand   sched.OnDemandConfig   // KindOnDemand
+	PowerCap   sched.PowerCapConfig   // KindPowerCap
+}
+
+// NoDVS returns the no-scheduling baseline strategy.
+func NoDVS() Strategy { return Strategy{Kind: KindNoDVS} }
+
+// External returns the §3.2 homogeneous static strategy.
+func External(f dvs.MHz) Strategy { return Strategy{Kind: KindExternal, Freq: f} }
+
+// ExternalPerNode returns the heterogeneous static strategy.
+func ExternalPerNode(freqs map[int]dvs.MHz) Strategy {
+	return Strategy{Kind: KindExternalPerNode, PerNode: freqs}
+}
+
+// Daemon returns the §3.1 CPUSPEED strategy with the given config.
+func Daemon(cfg sched.CPUSpeedConfig) Strategy { return Strategy{Kind: KindDaemon, Daemon: cfg} }
+
+// Predictive returns the phase-aware predictive daemon strategy.
+func Predictive(cfg sched.PredictiveConfig) Strategy {
+	return Strategy{Kind: KindPredictive, Predictive: cfg}
+}
+
+// OnDemand returns the in-kernel ondemand governor strategy.
+func OnDemand(cfg sched.OnDemandConfig) Strategy {
+	return Strategy{Kind: KindOnDemand, OnDemand: cfg}
+}
+
+// PowerCap returns the cluster-level power-capping strategy.
+func PowerCap(cfg sched.PowerCapConfig) Strategy {
+	return Strategy{Kind: KindPowerCap, PowerCap: cfg}
+}
+
+// String names the strategy the way the paper's tables do.
+func (s Strategy) String() string {
+	switch s.Kind {
+	case KindNoDVS:
+		return "1400"
+	case KindExternal:
+		return fmt.Sprintf("%.0f", float64(s.Freq))
+	case KindExternalPerNode:
+		return "per-node"
+	case KindDaemon:
+		return "auto"
+	case KindPredictive:
+		return "predictive"
+	case KindOnDemand:
+		return "ondemand"
+	case KindPowerCap:
+		return fmt.Sprintf("cap %.0fW", s.PowerCap.BudgetWatts)
+	}
+	return "?"
+}
+
+// Config assembles the cluster model parameters.
+type Config struct {
+	Node   node.Config
+	Net    netsim.Config // Nodes field is overridden by the workload size
+	MPI    mpisim.Config
+	Tracer mpisim.Tracer // optional MPE-style event sink
+}
+
+// DefaultConfig returns the calibrated NEMO configuration.
+func DefaultConfig() Config {
+	return Config{
+		Node: node.DefaultConfig(),
+		Net:  netsim.DefaultConfig(16),
+		MPI:  mpisim.DefaultConfig(),
+	}
+}
+
+// Result is one measured run.
+type Result struct {
+	Name     string
+	Strategy string
+	Elapsed  time.Duration // wall-clock (virtual) time to solution
+	Energy   float64       // total cluster joules over the run
+	// Per-node and per-rank detail:
+	NodeEnergy  []node.Energy
+	RankStats   []mpisim.Stats
+	TimeAtOp    [][]time.Duration // [node][opIndex] residency
+	Transitions int               // DVS transitions across the cluster
+	Net         netsim.Stats
+	DaemonMoves int // operating-point moves made by daemons (KindDaemon)
+	// Thermal summarizes each node's die-temperature history and the
+	// Arrhenius lifetime factor (paper §1's reliability motivation).
+	Thermal []node.ThermalStats
+}
+
+// AvgTemperature returns the time-averaged die temperature across nodes.
+func (r Result) AvgTemperature() float64 {
+	if len(r.Thermal) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range r.Thermal {
+		sum += t.AvgC
+	}
+	return sum / float64(len(r.Thermal))
+}
+
+// MinLifetimeFactor returns the worst node's expected-lifetime multiplier
+// (the cluster fails at its weakest component).
+func (r Result) MinLifetimeFactor() float64 {
+	if len(r.Thermal) == 0 {
+		return 0
+	}
+	min := r.Thermal[0].LifetimeFactor
+	for _, t := range r.Thermal[1:] {
+		if t.LifetimeFactor < min {
+			min = t.LifetimeFactor
+		}
+	}
+	return min
+}
+
+// EnergyPerNode returns mean joules per node.
+func (r Result) EnergyPerNode() float64 {
+	if len(r.NodeEnergy) == 0 {
+		return 0
+	}
+	return r.Energy / float64(len(r.NodeEnergy))
+}
+
+// AvgPower returns mean cluster power in watts.
+func (r Result) AvgPower() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.Energy / r.Elapsed.Seconds()
+}
+
+// Run executes workload w under strategy strat on a fresh simulated
+// cluster and returns the measurements.
+func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
+	k := sim.NewKernel()
+	nodes := make([]*node.Node, w.Ranks)
+	for i := range nodes {
+		n, err := node.New(k, i, cfg.Node)
+		if err != nil {
+			return Result{}, err
+		}
+		nodes[i] = n
+	}
+	netCfg := cfg.Net
+	netCfg.Nodes = w.Ranks
+	net, err := netsim.New(k, netCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	world, err := mpisim.NewWorld(k, net, nodes, cfg.MPI)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Tracer != nil {
+		world.SetTracer(cfg.Tracer)
+	}
+
+	var daemons []*sched.Daemon
+	switch strat.Kind {
+	case KindNoDVS:
+		// Nodes start at top speed by default.
+	case KindExternal:
+		if err := sched.SetAll(nodes, strat.Freq); err != nil {
+			return Result{}, err
+		}
+	case KindExternalPerNode:
+		if err := sched.SetPerNode(nodes, strat.PerNode); err != nil {
+			return Result{}, err
+		}
+	case KindDaemon:
+		ds, stop, err := sched.StartCluster(k, nodes, strat.Daemon)
+		if err != nil {
+			return Result{}, err
+		}
+		daemons = ds
+		world.OnAllDone(stop)
+	case KindPredictive:
+		_, stop, err := sched.StartPredictiveCluster(k, nodes, strat.Predictive)
+		if err != nil {
+			return Result{}, err
+		}
+		world.OnAllDone(stop)
+	case KindOnDemand:
+		_, stop, err := sched.StartOnDemandCluster(k, nodes, strat.OnDemand)
+		if err != nil {
+			return Result{}, err
+		}
+		world.OnAllDone(stop)
+	case KindPowerCap:
+		pc, err := sched.StartPowerCap(k, nodes, strat.PowerCap)
+		if err != nil {
+			return Result{}, err
+		}
+		world.OnAllDone(pc.Stop)
+	default:
+		return Result{}, fmt.Errorf("core: unknown strategy kind %d", strat.Kind)
+	}
+
+	if err := w.Launch(world); err != nil {
+		return Result{}, err
+	}
+	if err := k.Run(sim.MaxTime); err != nil {
+		return Result{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
+	}
+	if !world.Done() {
+		return Result{}, fmt.Errorf("core: %s did not complete", w.Name())
+	}
+
+	res := Result{
+		Name:     w.Name(),
+		Strategy: strat.String(),
+		Elapsed:  time.Duration(world.Elapsed()),
+		Net:      net.Stats(),
+	}
+	for i, n := range nodes {
+		e := n.Energy()
+		res.NodeEnergy = append(res.NodeEnergy, e)
+		res.Energy += e.Total()
+		res.RankStats = append(res.RankStats, world.Rank(i).Stats())
+		res.TimeAtOp = append(res.TimeAtOp, n.TimeAt())
+		res.Transitions += n.Transitions()
+		res.Thermal = append(res.Thermal, n.Thermal())
+	}
+	for _, d := range daemons {
+		res.DaemonMoves += d.Moves
+	}
+	return res, nil
+}
+
+// Normalized is a (delay, energy) pair relative to a no-DVS baseline, the
+// unit all the paper's tables and figures use.
+type Normalized struct {
+	Delay  float64 // T/T₁₄₀₀ — values > 1 are performance loss
+	Energy float64 // E/E₁₄₀₀ — values < 1 are energy savings
+}
+
+// Normalize expresses r relative to baseline base.
+func Normalize(r, base Result) Normalized {
+	n := Normalized{}
+	if base.Elapsed > 0 {
+		n.Delay = float64(r.Elapsed) / float64(base.Elapsed)
+	}
+	if base.Energy > 0 {
+		n.Energy = r.Energy / base.Energy
+	}
+	return n
+}

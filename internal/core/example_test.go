@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+)
+
+// ExampleRun measures the EXTERNAL strategy's energy-delay tradeoff on FT,
+// the paper's headline workload. Simulations are deterministic, so the
+// output is exact.
+func ExampleRun() {
+	w, err := npb.FT(npb.ClassB, 8)
+	if err != nil {
+		panic(err)
+	}
+	base, err := core.Run(w, core.NoDVS(), core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	low, err := core.Run(w, core.External(600), core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	n := core.Normalize(low, base)
+	fmt.Printf("FT at 600 MHz: delay %.2f, energy %.2f\n", n.Delay, n.Energy)
+	// Output: FT at 600 MHz: delay 1.12, energy 0.59
+}
+
+// ExampleRun_custom assembles a synthetic workload from the phase DSL and
+// runs it on the simulated cluster.
+func ExampleRun_custom() {
+	w, err := npb.Custom("DEMO", 4,
+		npb.LoopOp(2, npb.ComputeOp(140), npb.AlltoallOp(10000)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	r, err := core.Run(w, core.NoDVS(), core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s ran for %.0f ms\n", r.Name, r.Elapsed.Seconds()*1000)
+	// Output: DEMO.C.4+custom ran for 206 ms
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+	"repro/internal/sched"
+)
+
+func TestRunInstrumentedMatchesPlainRun(t *testing.T) {
+	w := ft(t, npb.ClassW)
+	cfg := core.DefaultConfig()
+	plain, err := core.Run(w, core.External(800), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.RunInstrumented(w, core.External(800), cfg, 100*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same workload, same strategy: the physics must agree exactly
+	// (instrumentation is passive).
+	if inst.Elapsed != plain.Elapsed {
+		t.Fatalf("elapsed %v vs %v", inst.Elapsed, plain.Elapsed)
+	}
+	if math.Abs(inst.Energy-plain.Energy) > 1e-6 {
+		t.Fatalf("energy %.3f vs %.3f", inst.Energy, plain.Energy)
+	}
+	// The meter window covers the run, measuring true cluster joules.
+	if math.Abs(inst.Measurement.True-inst.Energy) > 1e-6 {
+		t.Fatalf("meter true %.3f vs energy %.3f", inst.Measurement.True, inst.Energy)
+	}
+	if err := inst.Measurement.CrossCheck(8, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Profile) == 0 {
+		t.Fatal("no power profile collected")
+	}
+}
+
+func TestRunInstrumentedWarmup(t *testing.T) {
+	w := ft(t, npb.ClassS)
+	cfg := core.DefaultConfig()
+	const warmup = 5 * time.Second
+	inst, err := core.RunInstrumented(w, core.NoDVS(), cfg, time.Second, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Run(w, core.NoDVS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup idles before the measurement window; elapsed excludes it.
+	if d := inst.Elapsed - plain.Elapsed; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("warmup leaked into elapsed: %v vs %v", inst.Elapsed, plain.Elapsed)
+	}
+	// But the meter only saw the run, not the idle warmup: measurement
+	// energy is below the cluster's total (which includes warmup idle).
+	if inst.Measurement.True >= inst.Energy {
+		t.Fatalf("measurement %.1f not below total-with-warmup %.1f",
+			inst.Measurement.True, inst.Energy)
+	}
+}
+
+func TestRunInstrumentedDaemonStrategy(t *testing.T) {
+	w := ft(t, npb.ClassS)
+	cfg := core.DefaultConfig()
+	inst, err := core.RunInstrumented(w, core.Daemon(sched.CPUSpeedV121()), cfg, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Strategy != "auto" {
+		t.Fatalf("strategy %q", inst.Strategy)
+	}
+}

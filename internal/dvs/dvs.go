@@ -1,0 +1,131 @@
+// Package dvs models Dynamic Voltage Scaling hardware: processor
+// operating-point tables (frequency/voltage pairs), the CMOS power model
+// P ≈ A·C·V²·f plus leakage, and voltage-transition costs.
+//
+// The default table reproduces Table 1 of the paper: the Intel Pentium M
+// 1.4 GHz ("Enhanced Intel SpeedStep") with five operating points from
+// 600 MHz/0.956 V to 1400 MHz/1.484 V and a manufacturer lower bound of
+// ~10 µs transition latency (20–30 µs observed on contemporary Opterons).
+package dvs
+
+import (
+	"fmt"
+	"time"
+)
+
+// MHz is a CPU frequency in megahertz.
+type MHz float64
+
+// OperatingPoint is one DVS voltage/frequency step.
+type OperatingPoint struct {
+	Frequency MHz     // core clock, MHz
+	Voltage   float64 // supply voltage, volts
+}
+
+func (op OperatingPoint) String() string {
+	return fmt.Sprintf("%.0fMHz/%.3fV", float64(op.Frequency), op.Voltage)
+}
+
+// Table is an ordered list of operating points, slowest first.
+type Table []OperatingPoint
+
+// PentiumM14 is Table 1 of the paper: the five SpeedStep operating points
+// of the 1.4 GHz Pentium M used in the NEMO cluster.
+func PentiumM14() Table {
+	return Table{
+		{Frequency: 600, Voltage: 0.956},
+		{Frequency: 800, Voltage: 1.180},
+		{Frequency: 1000, Voltage: 1.308},
+		{Frequency: 1200, Voltage: 1.436},
+		{Frequency: 1400, Voltage: 1.484},
+	}
+}
+
+// Opteron246 is a representative 2.0 GHz AMD Opteron PowerNow! table, the
+// server-class part the paper names as the successor platform. Included to
+// exercise the library on a second hardware model.
+func Opteron246() Table {
+	return Table{
+		{Frequency: 800, Voltage: 0.9},
+		{Frequency: 1000, Voltage: 1.0},
+		{Frequency: 1200, Voltage: 1.1},
+		{Frequency: 1400, Voltage: 1.2},
+		{Frequency: 1600, Voltage: 1.25},
+		{Frequency: 1800, Voltage: 1.3},
+		{Frequency: 2000, Voltage: 1.35},
+	}
+}
+
+// Validate checks that the table is non-empty, strictly increasing in
+// frequency, and non-decreasing in voltage.
+func (t Table) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("dvs: empty operating-point table")
+	}
+	for i, op := range t {
+		if op.Frequency <= 0 || op.Voltage <= 0 {
+			return fmt.Errorf("dvs: point %d (%v) not positive", i, op)
+		}
+		if i > 0 {
+			if op.Frequency <= t[i-1].Frequency {
+				return fmt.Errorf("dvs: frequencies not strictly increasing at %d", i)
+			}
+			if op.Voltage < t[i-1].Voltage {
+				return fmt.Errorf("dvs: voltage decreases at %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Top returns the highest operating point.
+func (t Table) Top() OperatingPoint { return t[len(t)-1] }
+
+// Bottom returns the lowest operating point.
+func (t Table) Bottom() OperatingPoint { return t[0] }
+
+// IndexOf returns the index of the point with frequency f, or -1.
+func (t Table) IndexOf(f MHz) int {
+	for i, op := range t {
+		if op.Frequency == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// Nearest returns the index of the operating point whose frequency is
+// closest to f, preferring the higher point on ties (performance first).
+func (t Table) Nearest(f MHz) int {
+	best, bestDiff := 0, MHz(-1)
+	for i, op := range t {
+		d := op.Frequency - f
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff || (d == bestDiff && op.Frequency > t[best].Frequency) {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
+// Frequencies returns the frequencies of all points, slowest first.
+func (t Table) Frequencies() []MHz {
+	fs := make([]MHz, len(t))
+	for i, op := range t {
+		fs[i] = op.Frequency
+	}
+	return fs
+}
+
+// TransitionModel describes the cost of moving between operating points.
+// During a transition the core is stalled (no work retires) and consumes
+// power at the higher of the two points.
+type TransitionModel struct {
+	Latency time.Duration // per-transition stall
+}
+
+// DefaultTransition is the manufacturer lower bound from the paper (~10 µs);
+// observed costs on Opteron systems were 20–30 µs.
+func DefaultTransition() TransitionModel { return TransitionModel{Latency: 10 * time.Microsecond} }

@@ -1,0 +1,250 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPentiumMTableMatchesPaperTable1(t *testing.T) {
+	tab := PentiumM14()
+	want := []struct {
+		f MHz
+		v float64
+	}{
+		{600, 0.956}, {800, 1.180}, {1000, 1.308}, {1200, 1.436}, {1400, 1.484},
+	}
+	if len(tab) != len(want) {
+		t.Fatalf("table has %d points, want %d", len(tab), len(want))
+	}
+	for i, w := range want {
+		if tab[i].Frequency != w.f || tab[i].Voltage != w.v {
+			t.Errorf("point %d = %v, want %.0fMHz/%.3fV", i, tab[i], float64(w.f), w.v)
+		}
+	}
+}
+
+func TestTablesValidate(t *testing.T) {
+	for _, tab := range []Table{PentiumM14(), Opteron246()} {
+		if err := tab.Validate(); err != nil {
+			t.Errorf("table %v invalid: %v", tab, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	cases := map[string]Table{
+		"empty":              {},
+		"zero freq":          {{0, 1.0}},
+		"zero volt":          {{600, 0}},
+		"non-increasing f":   {{800, 1.0}, {800, 1.1}},
+		"decreasing voltage": {{600, 1.2}, {800, 1.0}},
+	}
+	for name, tab := range cases {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTopBottom(t *testing.T) {
+	tab := PentiumM14()
+	if tab.Top().Frequency != 1400 {
+		t.Errorf("Top = %v", tab.Top())
+	}
+	if tab.Bottom().Frequency != 600 {
+		t.Errorf("Bottom = %v", tab.Bottom())
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	tab := PentiumM14()
+	if i := tab.IndexOf(1000); i != 2 {
+		t.Errorf("IndexOf(1000) = %d", i)
+	}
+	if i := tab.IndexOf(900); i != -1 {
+		t.Errorf("IndexOf(900) = %d, want -1", i)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tab := PentiumM14()
+	cases := []struct {
+		f    MHz
+		want int
+	}{
+		{600, 0}, {650, 0}, {700, 1}, {1399, 4}, {5000, 4}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := tab.Nearest(c.f); got != c.want {
+			t.Errorf("Nearest(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestNearestPrefersHigherOnTie(t *testing.T) {
+	if got := PentiumM14().Nearest(700); got != 1 {
+		t.Errorf("Nearest(700) = %d, want 1 (800 MHz wins tie)", got)
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	fs := PentiumM14().Frequencies()
+	if len(fs) != 5 || fs[0] != 600 || fs[4] != 1400 {
+		t.Errorf("Frequencies = %v", fs)
+	}
+}
+
+func TestPowerModelValidates(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	m.MemWatts = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestCPUScaleAtTopIsOne(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	if s := m.CPUScale(m.Table.Top()); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("CPUScale(top) = %v", s)
+	}
+}
+
+func TestCPUScale600MHz(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	// (0.956/1.484)² · (600/1400) ≈ 0.1779
+	got := m.CPUScale(m.Table.Bottom())
+	if math.Abs(got-0.1779) > 0.001 {
+		t.Fatalf("CPUScale(600) = %v, want ≈0.1779", got)
+	}
+}
+
+func TestWattsMonotonicInFrequency(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	prev := 0.0
+	for _, op := range m.Table {
+		w := m.Watts(op, ActCompute)
+		if w <= prev {
+			t.Fatalf("power not increasing: %v at %v", w, op)
+		}
+		prev = w
+	}
+}
+
+func TestBusyNodePowerRoughly35W(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	w := m.Watts(m.Table.Top(), ActCompute)
+	if w < 30 || w > 40 {
+		t.Fatalf("busy top-point power = %.1f W, want ~35 W", w)
+	}
+}
+
+func TestIdlePowerMuchLowerThanBusy(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	top := m.Table.Top()
+	busy := m.Watts(top, ActCompute)
+	idle := m.Watts(top, ActIdle)
+	if idle >= busy*0.6 {
+		t.Fatalf("idle %.1f W not well below busy %.1f W", idle, busy)
+	}
+}
+
+func TestCPUShareUnderLoadDominates(t *testing.T) {
+	// Figure 1: under load the CPU dominates node power; at idle its share
+	// drops sharply.
+	m := DefaultPowerModel(PentiumM14())
+	top := m.Table.Top()
+	load := m.Itemize(top, ActCompute)
+	idle := m.Itemize(top, ActIdle)
+	loadShare := load.CPU / load.Total
+	idleShare := idle.CPU / idle.Total
+	if loadShare < 0.45 {
+		t.Errorf("CPU share under load = %.2f, want > 0.45", loadShare)
+	}
+	if idleShare >= loadShare {
+		t.Errorf("idle CPU share %.2f not below load share %.2f", idleShare, loadShare)
+	}
+}
+
+func TestItemizeSumsToTotal(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	for _, op := range m.Table {
+		for _, a := range []Activity{ActCompute, ActMemory, ActCommTransfer, ActCommWait, ActIdle} {
+			b := m.Itemize(op, a)
+			if math.Abs(b.Total-m.Watts(op, a)) > 1e-9 {
+				t.Fatalf("itemize mismatch at %v", op)
+			}
+			if math.Abs(b.CPU+b.Memory+b.NIC+b.Base-b.Total) > 1e-9 {
+				t.Fatalf("components don't sum at %v", op)
+			}
+		}
+	}
+}
+
+// Property: power is monotone non-decreasing in each activity component.
+func TestPropertyPowerMonotoneInActivity(t *testing.T) {
+	m := DefaultPowerModel(PentiumM14())
+	clamp := func(x float64) float64 {
+		x = math.Abs(math.Mod(x, 1))
+		return x
+	}
+	f := func(c1, m1, n1, c2, m2, n2 float64, opIdx uint8) bool {
+		op := m.Table[int(opIdx)%len(m.Table)]
+		a := Activity{CPU: clamp(c1), Mem: clamp(m1), NIC: clamp(n1)}
+		b := Activity{CPU: clamp(c2), Mem: clamp(m2), NIC: clamp(n2)}
+		hi := Activity{CPU: math.Max(a.CPU, b.CPU), Mem: math.Max(a.Mem, b.Mem), NIC: math.Max(a.NIC, b.NIC)}
+		return m.Watts(op, hi) >= m.Watts(op, a)-1e-12 && m.Watts(op, hi) >= m.Watts(op, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dynamic CPU scale is strictly within (0, 1] and ordered with
+// frequency for any valid table.
+func TestPropertyCPUScaleOrdered(t *testing.T) {
+	for _, tab := range []Table{PentiumM14(), Opteron246()} {
+		m := DefaultPowerModel(tab)
+		prev := 0.0
+		for _, op := range tab {
+			s := m.CPUScale(op)
+			if s <= prev || s > 1+1e-12 {
+				t.Fatalf("scale %v at %v out of order", s, op)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestDefaultTransitionWithinPaperBounds(t *testing.T) {
+	tr := DefaultTransition()
+	if tr.Latency < 10e3 || tr.Latency > 30e3 { // 10–30 µs in ns
+		t.Fatalf("transition latency %v outside the paper's 10–30 µs range", tr.Latency)
+	}
+}
+
+func TestOperatingPointString(t *testing.T) {
+	op := OperatingPoint{Frequency: 600, Voltage: 0.956}
+	if s := op.String(); s != "600MHz/0.956V" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestOpteronTableShape(t *testing.T) {
+	tab := Opteron246()
+	if len(tab) != 7 {
+		t.Fatalf("Opteron table has %d points", len(tab))
+	}
+	if tab.Top().Frequency != 2000 || tab.Bottom().Frequency != 800 {
+		t.Fatalf("Opteron range %v..%v", tab.Bottom(), tab.Top())
+	}
+	m := DefaultPowerModel(tab)
+	// The V²f span is wider than the Pentium M's ~5.6×.
+	span := 1.0 / m.CPUScale(tab.Bottom())
+	if span < 4 {
+		t.Fatalf("Opteron dynamic span only %.1fx", span)
+	}
+}

@@ -1,0 +1,125 @@
+package dvs
+
+import "fmt"
+
+// Activity describes what the hardware is doing during a span of time; it
+// drives the component power draws. All fields are in [0, 1].
+type Activity struct {
+	CPU  float64 // fraction of peak switching activity (A in P ≈ A·C·V²·f)
+	Mem  float64 // memory-subsystem activity (DRAM + controller)
+	NIC  float64 // network-interface activity
+	Disk float64 // disk activity (seeks + platter + interface)
+}
+
+// Common activity profiles. These are the per-phase activity factors the
+// node model applies; they are part of the calibrated model (see
+// calibration.go and cmd/calibrate).
+var (
+	// ActCompute: CPU-bound execution, caches hot.
+	ActCompute = Activity{CPU: 1.0, Mem: 0.10, NIC: 0}
+	// ActMemory: execution dominated by DRAM stalls; the out-of-order core
+	// still burns substantial dynamic power waiting on loads.
+	ActMemory = Activity{CPU: 0.70, Mem: 1.0, NIC: 0}
+	// ActCommTransfer: driving the NIC (packetization, copies).
+	ActCommTransfer = Activity{CPU: 0.85, Mem: 0.30, NIC: 1.0}
+	// ActCommWait: blocked in the MPI progress engine. MPICH 1.2.5's ch_p4
+	// device aggressively polls, so dynamic power stays high even though
+	// the OS sees mostly short select() sleeps.
+	ActCommWait = Activity{CPU: 1.0, Mem: 0.05, NIC: 0.20}
+	// ActIdle: true OS idle (C1 halt between timer ticks).
+	ActIdle = Activity{CPU: 0.10, Mem: 0.02, NIC: 0}
+	// ActDiskIO: blocked on disk I/O (iowait): the CPU sleeps between
+	// completions while the disk works — the "more opportunities to DVS"
+	// the paper defers to future study (§4.4).
+	ActDiskIO = Activity{CPU: 0.15, Mem: 0.10, NIC: 0, Disk: 1.0}
+)
+
+// PowerModel converts an operating point plus an activity level into watts.
+// The node draw decomposes as
+//
+//	P = Base                                  (board, DRAM refresh, disk, ...)
+//	  + CPU.Dynamic · a.CPU · (V/Vmax)²·(f/fmax)
+//	  + CPU.Leakage                           (on whenever the core has power)
+//	  + Mem · a.Mem + NIC · a.NIC
+//
+// which is equation (1) of the paper with explicit static terms. Defaults
+// come from DefaultPowerModel and are calibrated against the paper's
+// Table 2 (see internal/dvs/calibration.go).
+type PowerModel struct {
+	Table      Table   // operating points this model is normalized to
+	BaseWatts  float64 // frequency-independent board power
+	CPUDynamic float64 // dynamic CPU power at top point, full activity
+	CPULeak    float64 // CPU static/leakage power
+	MemWatts   float64 // memory subsystem at full activity
+	NICWatts   float64 // NIC at full activity
+	DiskWatts  float64 // disk at full activity (spun-up baseline is in Base)
+}
+
+// DefaultPowerModel returns the calibrated NEMO node model for the given
+// table: ~35 W busy at the top point, CPU ≈ 60 % of node power under load
+// and a much smaller share at idle, matching the load/idle contrast of
+// Figure 1 scaled to a laptop-class node.
+func DefaultPowerModel(t Table) PowerModel {
+	return PowerModel{
+		Table:      t,
+		BaseWatts:  9.0,
+		CPUDynamic: 20.0,
+		CPULeak:    3.0,
+		MemWatts:   6.0,
+		NICWatts:   2.0,
+		DiskWatts:  3.0,
+	}
+}
+
+// Validate checks the model for physically meaningful values.
+func (m PowerModel) Validate() error {
+	if err := m.Table.Validate(); err != nil {
+		return err
+	}
+	for name, v := range map[string]float64{
+		"base": m.BaseWatts, "cpu-dynamic": m.CPUDynamic, "cpu-leak": m.CPULeak,
+		"mem": m.MemWatts, "nic": m.NICWatts, "disk": m.DiskWatts,
+	} {
+		if v < 0 {
+			return fmt.Errorf("dvs: negative %s power", name)
+		}
+	}
+	return nil
+}
+
+// CPUScale returns the V²f scaling factor of dynamic CPU power at op,
+// relative to the table's top point.
+func (m PowerModel) CPUScale(op OperatingPoint) float64 {
+	top := m.Table.Top()
+	vr := op.Voltage / top.Voltage
+	fr := float64(op.Frequency) / float64(top.Frequency)
+	return vr * vr * fr
+}
+
+// Watts returns total node power at operating point op with activity a.
+func (m PowerModel) Watts(op OperatingPoint, a Activity) float64 {
+	return m.BaseWatts + m.CPUWatts(op, a) + m.MemWatts*a.Mem + m.NICWatts*a.NIC + m.DiskWatts*a.Disk
+}
+
+// CPUWatts returns the CPU component only (dynamic + leakage).
+func (m PowerModel) CPUWatts(op OperatingPoint, a Activity) float64 {
+	return m.CPUDynamic*a.CPU*m.CPUScale(op) + m.CPULeak
+}
+
+// Breakdown itemizes node power at op with activity a, for Figure 1.
+type Breakdown struct {
+	CPU, Memory, NIC, Disk, Base, Total float64
+}
+
+// Itemize returns the per-component decomposition of Watts.
+func (m PowerModel) Itemize(op OperatingPoint, a Activity) Breakdown {
+	b := Breakdown{
+		CPU:    m.CPUWatts(op, a),
+		Memory: m.MemWatts * a.Mem,
+		NIC:    m.NICWatts * a.NIC,
+		Disk:   m.DiskWatts * a.Disk,
+		Base:   m.BaseWatts,
+	}
+	b.Total = b.CPU + b.Memory + b.NIC + b.Disk + b.Base
+	return b
+}

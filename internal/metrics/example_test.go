@@ -1,0 +1,40 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// ExampleSelect picks an operating point for FT's published profile under
+// the paper's performance-constrained ED³P metric (Figure 6's procedure).
+func ExampleSelect() {
+	cands := []metrics.Candidate{
+		{Label: "600", Delay: 1.13, Energy: 0.62},
+		{Label: "800", Delay: 1.07, Energy: 0.70},
+		{Label: "1000", Delay: 1.04, Energy: 0.80},
+		{Label: "1200", Delay: 1.02, Energy: 0.93},
+		{Label: "1400", Delay: 1.00, Energy: 1.00},
+	}
+	pick, err := metrics.Select(metrics.ED3P, cands)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ED3P picks %s MHz: %.0f%% energy saving at %.0f%% delay\n",
+		pick.Label, (1-pick.Energy)*100, (pick.Delay-1)*100)
+	// Output: ED3P picks 800 MHz: 30% energy saving at 7% delay
+}
+
+// ExampleCrescendo_Classify reproduces the paper's Type I-IV taxonomy on
+// EP's published row.
+func ExampleCrescendo_Classify() {
+	ep := metrics.Crescendo{
+		{Label: "600", Delay: 2.35, Energy: 1.15},
+		{Label: "800", Delay: 1.75, Energy: 1.03},
+		{Label: "1000", Delay: 1.40, Energy: 1.02},
+		{Label: "1200", Delay: 1.17, Energy: 1.03},
+		{Label: "1400", Delay: 1.00, Energy: 1.00},
+	}
+	fmt.Printf("EP is Type %s\n", ep.Classify())
+	// Output: EP is Type I
+}

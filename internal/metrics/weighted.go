@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Weighted is the fractional-exponent metric family E·D^w from Cameron et
+// al.'s weighted ED²P proposal (§4.5 cites it for DVS-enabled power-aware
+// clusters): w interpolates continuously between pure-energy (w=0), EDP
+// (w=1), ED²P (w=2), ED³P (w=3) and beyond, letting a site dial in its own
+// performance constraint.
+type Weighted struct {
+	W float64
+}
+
+// String names the metric.
+func (m Weighted) String() string { return fmt.Sprintf("ED^%.2fP", m.W) }
+
+// Eval computes energy × delay^w.
+func (m Weighted) Eval(delay, energy float64) float64 {
+	return energy * math.Pow(delay, m.W)
+}
+
+// SelectWeighted returns the candidate minimizing E·D^w, ties broken
+// toward performance like Select.
+func SelectWeighted(w float64, cands []Candidate) (Candidate, error) {
+	if w < 0 {
+		return Candidate{}, fmt.Errorf("metrics: negative delay weight %v", w)
+	}
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("metrics: no candidates")
+	}
+	m := Weighted{W: w}
+	best := cands[0]
+	bestV := m.Eval(best.Delay, best.Energy)
+	const eps = 1e-12
+	for _, c := range cands[1:] {
+		v := m.Eval(c.Delay, c.Energy)
+		switch {
+		case v < bestV-eps:
+			best, bestV = c, v
+		case math.Abs(v-bestV) <= eps && c.Delay < best.Delay:
+			best, bestV = c, v
+		}
+	}
+	return best, nil
+}
+
+// ConstraintWeight returns the smallest integer-free delay weight at which
+// the selection over cands stops changing (i.e. further performance
+// emphasis is moot) — a diagnostic for "how performance-constrained do I
+// need to be before DVS turns off for this code".
+func ConstraintWeight(cands []Candidate, maxW float64, step float64) (float64, error) {
+	if step <= 0 || maxW <= 0 {
+		return 0, fmt.Errorf("metrics: need positive maxW and step")
+	}
+	prev, err := SelectWeighted(maxW, cands)
+	if err != nil {
+		return 0, err
+	}
+	// Walk downward from maxW until the choice changes; the boundary is
+	// one step above.
+	for w := maxW - step; w >= 0; w -= step {
+		cur, err := SelectWeighted(w, cands)
+		if err != nil {
+			return 0, err
+		}
+		if cur.Label != prev.Label {
+			return w + step, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var ftRow = []Candidate{
+	{"600", 1.13, 0.62},
+	{"800", 1.07, 0.70},
+	{"1000", 1.04, 0.80},
+	{"1200", 1.02, 0.93},
+	{"1400", 1.00, 1.00},
+}
+
+func TestWeightedMatchesIntegerMetricsAtIntegerW(t *testing.T) {
+	for _, m := range []Metric{EDP, ED2P, ED3P} {
+		w := Weighted{W: float64(m.Exponent())}
+		for _, c := range ftRow {
+			if math.Abs(w.Eval(c.Delay, c.Energy)-m.Eval(c.Delay, c.Energy)) > 1e-12 {
+				t.Fatalf("%v vs %v disagree at %+v", w, m, c)
+			}
+		}
+		iw, err := SelectWeighted(float64(m.Exponent()), ftRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := Select(m, ftRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iw.Label != im.Label {
+			t.Fatalf("w=%d picks %s, %v picks %s", m.Exponent(), iw.Label, m, im.Label)
+		}
+	}
+}
+
+func TestSelectWeightedValidation(t *testing.T) {
+	if _, err := SelectWeighted(-1, ftRow); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := SelectWeighted(2, nil); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+}
+
+func TestWeightedZeroPicksMinEnergy(t *testing.T) {
+	c, err := SelectWeighted(0, ftRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != "600" {
+		t.Fatalf("w=0 picked %s, want the minimum-energy point", c.Label)
+	}
+}
+
+func TestWeightedHugePicksMinDelay(t *testing.T) {
+	c, err := SelectWeighted(50, ftRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != "1400" {
+		t.Fatalf("w=50 picked %s, want the fastest point", c.Label)
+	}
+}
+
+func TestConstraintWeightFT(t *testing.T) {
+	// FT stays a DVS win even under strong performance emphasis: the
+	// boundary weight where the pick stops moving is finite and positive.
+	w, err := ConstraintWeight(ftRow, 50, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w > 50 {
+		t.Fatalf("constraint weight = %v", w)
+	}
+	// Above the boundary the pick equals the max-weight pick.
+	hi, _ := SelectWeighted(w, ftRow)
+	max, _ := SelectWeighted(50, ftRow)
+	if hi.Label != max.Label {
+		t.Fatalf("boundary inconsistent: %s vs %s", hi.Label, max.Label)
+	}
+}
+
+func TestConstraintWeightValidation(t *testing.T) {
+	if _, err := ConstraintWeight(ftRow, 0, 1); err == nil {
+		t.Fatal("zero maxW accepted")
+	}
+	if _, err := ConstraintWeight(ftRow, 10, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+// Property: the selected delay is monotone non-increasing in the weight.
+func TestPropertyWeightedDelayMonotone(t *testing.T) {
+	f := func(w1Raw, w2Raw uint8) bool {
+		w1 := float64(w1Raw) / 16
+		w2 := float64(w2Raw) / 16
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		c1, err := SelectWeighted(w1, ftRow)
+		if err != nil {
+			return false
+		}
+		c2, err := SelectWeighted(w2, ftRow)
+		if err != nil {
+			return false
+		}
+		return c2.Delay <= c1.Delay+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

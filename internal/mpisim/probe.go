@@ -1,0 +1,68 @@
+package mpisim
+
+import "fmt"
+
+// Probe-family operations and multi-request waits, completing the MPI-1
+// point-to-point surface irregular codes rely on.
+
+// Iprobe reports whether a message matching (src, tag) has been delivered
+// but not yet received, without consuming it. src may be AnySource.
+func (r *Rank) Iprobe(src, tag int) (ok bool, bytes int) {
+	probe := &Request{owner: r, isRecv: true, src: src, tag: tag}
+	for _, m := range r.mailbox {
+		if probe.matches(m) {
+			return true, m.bytes
+		}
+	}
+	return false, 0
+}
+
+// Probe blocks until a matching message is available, without consuming
+// it; it returns the message size. The subsequent Recv is then immediate.
+func (r *Rank) Probe(src, tag int) int {
+	for {
+		if ok, bytes := r.Iprobe(src, tag); ok {
+			return bytes
+		}
+		// Park until any delivery arrives, then re-check the match.
+		q := r.world.k.NewQueue(fmt.Sprintf("probe.r%d", r.id))
+		r.probeWaiters = append(r.probeWaiters, q)
+		r.waitSpan(q)
+	}
+}
+
+// WaitAny blocks until at least one request completes and returns its
+// index (the lowest-numbered completed request, matching MPI_Waitany's
+// deterministic tie-break on simultaneous completion).
+func (r *Rank) WaitAny(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		panic(fmt.Sprintf("rank %d: WaitAny with no requests", r.id))
+	}
+	for {
+		for i, req := range reqs {
+			if req.owner != r {
+				panic(fmt.Sprintf("rank %d: WaitAny on foreign request", r.id))
+			}
+			if req.done {
+				r.Wait(req) // charge receive overhead / trace event
+				return i
+			}
+		}
+		q := r.world.k.NewQueue(fmt.Sprintf("waitany.r%d", r.id))
+		r.anyWaiters = append(r.anyWaiters, q)
+		r.waitSpan(q)
+	}
+}
+
+// notifyWatchers wakes probe/waitany parkers after a delivery or request
+// completion.
+func (r *Rank) notifyWatchers() {
+	for _, q := range r.probeWaiters {
+		q.Broadcast()
+	}
+	r.probeWaiters = r.probeWaiters[:0]
+	for _, q := range r.anyWaiters {
+		q.Broadcast()
+	}
+	r.anyWaiters = r.anyWaiters[:0]
+}

@@ -1,0 +1,105 @@
+package npb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dvs"
+	"repro/internal/mpisim"
+)
+
+// Op is one step of a synthetic workload script. The Custom builder
+// composes Ops into a Workload, letting users model their own codes'
+// phase structure without writing a rank body by hand — the same
+// vocabulary the paper uses to characterize applications (compute, memory,
+// communication, and now disk phases).
+type Op func(r *mpisim.Rank)
+
+// ComputeOp retires megacycles of CPU-bound work.
+func ComputeOp(megacycles float64) Op {
+	return func(r *mpisim.Rank) { r.Compute(megacycles) }
+}
+
+// MemoryOp stalls on memory for d (frequency-insensitive).
+func MemoryOp(d time.Duration) Op {
+	return func(r *mpisim.Rank) { r.MemoryStall(d) }
+}
+
+// DiskOp blocks on disk I/O for d.
+func DiskOp(d time.Duration) Op {
+	return func(r *mpisim.Rank) { r.DiskIO(d) }
+}
+
+// AlltoallOp performs an all-to-all with bytes per pair.
+func AlltoallOp(bytesPerPair int) Op {
+	return func(r *mpisim.Rank) { r.Alltoall(bytesPerPair) }
+}
+
+// AllreduceOp performs an allreduce of the given payload.
+func AllreduceOp(bytes int) Op {
+	return func(r *mpisim.Rank) { r.Allreduce(bytes) }
+}
+
+// BarrierOp synchronizes all ranks.
+func BarrierOp() Op {
+	return func(r *mpisim.Rank) { r.Barrier() }
+}
+
+// RingExchangeOp swaps bytes with both ring neighbours.
+func RingExchangeOp(bytes int) Op {
+	return func(r *mpisim.Rank) {
+		n := r.Size()
+		next, prev := (r.ID()+1)%n, (r.ID()-1+n)%n
+		r.SendRecv(next, bytes, prev, bytes, 900)
+	}
+}
+
+// LoopOp repeats ops n times.
+func LoopOp(n int, ops ...Op) Op {
+	return func(r *mpisim.Rank) {
+		for i := 0; i < n; i++ {
+			for _, op := range ops {
+				op(r)
+			}
+		}
+	}
+}
+
+// OnRanksOp runs ops only on ranks where pred holds. All other ranks skip
+// them, so ops containing collectives must not be used here — pair it with
+// point-to-point or local phases (the CG-style asymmetric compute).
+func OnRanksOp(pred func(id int) bool, ops ...Op) Op {
+	return func(r *mpisim.Rank) {
+		if !pred(r.ID()) {
+			return
+		}
+		for _, op := range ops {
+			op(r)
+		}
+	}
+}
+
+// SetSpeedOp issues an application-level DVS change (internal control).
+func SetSpeedOp(f dvs.MHz) Op {
+	return func(r *mpisim.Rank) { r.SetSpeed(f) }
+}
+
+// Custom assembles a synthetic workload from a phase script. The script
+// runs as written on every rank; class scaling is not applied — size the
+// phases directly.
+func Custom(code string, ranks int, ops ...Op) (Workload, error) {
+	if code == "" {
+		return Workload{}, fmt.Errorf("npb: custom workload needs a name")
+	}
+	if ranks < 1 {
+		return Workload{}, fmt.Errorf("npb: custom workload needs ≥1 rank, got %d", ranks)
+	}
+	if len(ops) == 0 {
+		return Workload{}, fmt.Errorf("npb: custom workload needs at least one op")
+	}
+	return Workload{Code: code, Class: ClassC, Ranks: ranks, Variant: "custom", Body: func(r *mpisim.Rank) {
+		for _, op := range ops {
+			op(r)
+		}
+	}}, nil
+}

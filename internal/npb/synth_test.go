@@ -1,0 +1,118 @@
+package npb_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+)
+
+func TestCustomValidation(t *testing.T) {
+	if _, err := npb.Custom("", 4, npb.ComputeOp(1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := npb.Custom("X", 0, npb.ComputeOp(1)); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := npb.Custom("X", 4); err == nil {
+		t.Error("empty script accepted")
+	}
+}
+
+func TestCustomRunsAllPhases(t *testing.T) {
+	w, err := npb.Custom("SYNTH", 4,
+		npb.LoopOp(3,
+			npb.ComputeOp(140), // 100 ms
+			npb.MemoryOp(50*time.Millisecond),
+			npb.DiskOp(20*time.Millisecond),
+			npb.AlltoallOp(10_000),
+			npb.AllreduceOp(8),
+		),
+		npb.BarrierOp(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Run(w, core.NoDVS(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.RankStats[0]
+	if st.Compute < 290*time.Millisecond || st.Compute > 310*time.Millisecond {
+		t.Errorf("compute = %v", st.Compute)
+	}
+	if st.Memory != 150*time.Millisecond {
+		t.Errorf("memory = %v", st.Memory)
+	}
+	if st.Disk != 60*time.Millisecond {
+		t.Errorf("disk = %v", st.Disk)
+	}
+	if st.Messages == 0 {
+		t.Error("no communication happened")
+	}
+	if w.Name() != "SYNTH.C.4+custom" {
+		t.Errorf("name = %q", w.Name())
+	}
+}
+
+func TestCustomAsymmetricScript(t *testing.T) {
+	// CG-style: half the ranks compute twice as much; the ring exchange
+	// synchronizes them so the light half accumulates wait time.
+	w, err := npb.Custom("ASYM", 4,
+		npb.LoopOp(10,
+			npb.OnRanksOp(func(id int) bool { return id < 2 }, npb.ComputeOp(280)),
+			npb.OnRanksOp(func(id int) bool { return id >= 2 }, npb.ComputeOp(140)),
+			npb.RingExchangeOp(1000),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Run(w, core.NoDVS(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RankStats[0].Compute <= r.RankStats[3].Compute {
+		t.Error("no compute asymmetry")
+	}
+	if r.RankStats[3].Wait <= r.RankStats[0].Wait {
+		t.Error("light ranks did not wait more")
+	}
+}
+
+func TestCustomInternalControl(t *testing.T) {
+	// A script with explicit set_cpuspeed around a comm phase saves
+	// energy vs the same script without, like hand-instrumented FT.
+	build := func(withDVS bool) npb.Workload {
+		ops := []npb.Op{npb.ComputeOp(700)} // 0.5 s
+		if withDVS {
+			ops = append(ops, npb.SetSpeedOp(600))
+		}
+		ops = append(ops, npb.AlltoallOp(2_000_000))
+		if withDVS {
+			ops = append(ops, npb.SetSpeedOp(1400))
+		}
+		w, err := npb.Custom("DVS", 4, npb.LoopOp(5, ops...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	cfg := core.DefaultConfig()
+	base, err := core.Run(build(false), core.NoDVS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := core.Run(build(true), core.NoDVS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := core.Normalize(tuned, base)
+	if n.Energy >= 0.90 {
+		t.Errorf("scripted internal control saved only %.0f%%", (1-n.Energy)*100)
+	}
+	if n.Delay > 1.05 {
+		t.Errorf("scripted internal control delay %.3f", n.Delay)
+	}
+}

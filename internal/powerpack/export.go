@@ -1,0 +1,105 @@
+package powerpack
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Export/import of power profiles — the data-workstation side of the
+// framework (§4.3: "we created software to filter and align data sets from
+// individual nodes for use in power and performance analysis").
+
+// WriteSamplesCSV emits samples as CSV: node,at_ns,watts.
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "at_ns", "watts"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.Itoa(s.Node),
+			strconv.FormatInt(int64(s.At), 10),
+			strconv.FormatFloat(s.Watts, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSamplesCSV parses the WriteSamplesCSV format.
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("powerpack: empty profile")
+	}
+	if len(recs[0]) != 3 || recs[0][0] != "node" {
+		return nil, fmt.Errorf("powerpack: unexpected header %v", recs[0])
+	}
+	out := make([]Sample, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("powerpack: row %d has %d fields", i+1, len(rec))
+		}
+		node, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("powerpack: row %d node: %w", i+1, err)
+		}
+		at, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("powerpack: row %d time: %w", i+1, err)
+		}
+		watts, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("powerpack: row %d watts: %w", i+1, err)
+		}
+		out = append(out, Sample{Node: node, At: sim.Time(at), Watts: watts})
+	}
+	return out, nil
+}
+
+// measurementJSON is the serialized form of a Measurement.
+type measurementJSON struct {
+	ACPIJoules    float64 `json:"acpi_joules"`
+	BaytechJoules float64 `json:"baytech_joules"`
+	TrueJoules    float64 `json:"true_joules"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+}
+
+// WriteMeasurementJSON serializes a measurement.
+func WriteMeasurementJSON(w io.Writer, m Measurement) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(measurementJSON{
+		ACPIJoules:    m.ACPI,
+		BaytechJoules: m.Baytech,
+		TrueJoules:    m.True,
+		ElapsedNs:     int64(m.Elapsed),
+	})
+}
+
+// ReadMeasurementJSON parses WriteMeasurementJSON output.
+func ReadMeasurementJSON(r io.Reader) (Measurement, error) {
+	var mj measurementJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		ACPI:    mj.ACPIJoules,
+		Baytech: mj.BaytechJoules,
+		True:    mj.TrueJoules,
+		Elapsed: time.Duration(mj.ElapsedNs),
+	}, nil
+}

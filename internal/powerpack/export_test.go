@@ -1,0 +1,121 @@
+package powerpack
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSamplesCSVRoundTrip(t *testing.T) {
+	in := []Sample{
+		{Node: 0, At: sim.Time(1e9), Watts: 32.55},
+		{Node: 1, At: sim.Time(1e9), Watts: 14.125},
+		{Node: 0, At: sim.Time(2e9), Watts: 18},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSamplesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d", len(out))
+	}
+	for i := range in {
+		if out[i].Node != in[i].Node || out[i].At != in[i].At ||
+			math.Abs(out[i].Watts-in[i].Watts) > 1e-12 {
+			t.Fatalf("row %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSamplesCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "a,b,c\n1,2,3\n",
+		"bad node":   "node,at_ns,watts\nx,1,2\n",
+		"bad time":   "node,at_ns,watts\n1,x,2\n",
+		"bad watts":  "node,at_ns,watts\n1,2,x\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadSamplesCSV(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMeasurementJSONRoundTrip(t *testing.T) {
+	in := Measurement{ACPI: 1234.5, Baytech: 1230, True: 1233.25, Elapsed: 90 * time.Second}
+	var buf bytes.Buffer
+	if err := WriteMeasurementJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "acpi_joules") {
+		t.Fatalf("json: %s", buf.String())
+	}
+	out, err := ReadMeasurementJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round-trip %+v vs %+v", out, in)
+	}
+}
+
+func TestReadMeasurementJSONError(t *testing.T) {
+	if _, err := ReadMeasurementJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated json accepted")
+	}
+}
+
+// Property: CSV round-trips arbitrary sample sets exactly.
+func TestPropertySamplesCSVRoundTrip(t *testing.T) {
+	f := func(nodes []uint8, times []int64, watts []float64) bool {
+		n := len(nodes)
+		if len(times) < n {
+			n = len(times)
+		}
+		if len(watts) < n {
+			n = len(watts)
+		}
+		in := make([]Sample, 0, n)
+		for i := 0; i < n; i++ {
+			tm := times[i]
+			if tm < 0 {
+				tm = -tm
+			}
+			w := watts[i]
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 0
+			}
+			in = append(in, Sample{Node: int(nodes[i]), At: sim.Time(tm), Watts: w})
+		}
+		var buf bytes.Buffer
+		if err := WriteSamplesCSV(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadSamplesCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package powerpack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSamplesCSV hardens the profile parser against malformed input:
+// it must never panic, and anything it accepts must re-serialize.
+func FuzzReadSamplesCSV(f *testing.F) {
+	f.Add("node,at_ns,watts\n0,1000,32.5\n")
+	f.Add("node,at_ns,watts\n")
+	f.Add("")
+	f.Add("node,at_ns,watts\n1,x,2\n")
+	f.Add("node,at_ns,watts\n-3,5,1e308\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		samples, err := ReadSamplesCSV(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSamplesCSV(&buf, samples); err != nil {
+			t.Fatalf("accepted samples failed to serialize: %v", err)
+		}
+	})
+}
+
+// FuzzReadMeasurementJSON hardens the measurement parser.
+func FuzzReadMeasurementJSON(f *testing.F) {
+	f.Add(`{"acpi_joules":1,"baytech_joules":2,"true_joules":3,"elapsed_ns":4}`)
+	f.Add(`{}`)
+	f.Add(`{"elapsed_ns":"x"}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		m, err := ReadMeasurementJSON(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMeasurementJSON(&buf, m); err != nil {
+			t.Fatalf("accepted measurement failed to serialize: %v", err)
+		}
+	})
+}

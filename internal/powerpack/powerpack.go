@@ -1,0 +1,195 @@
+// Package powerpack reproduces the paper's measurement framework (§4):
+// ACPI smart-battery polling, Baytech power-strip metering, the
+// charge/disconnect/discharge measurement protocol, and collection and
+// alignment of distributed power profiles.
+//
+// Both instruments deliberately model the quantization and refresh limits
+// of the real hardware: the ACPI battery reports integer milliwatt-hours
+// (1 mWh = 3.6 J) and refreshes only every 15–20 s; the Baytech strip
+// reports per-outlet average power once per minute. This is why the paper
+// ran minutes-long jobs and repeated each experiment — and why tests here
+// verify that measured energy converges to ground truth as runs lengthen.
+package powerpack
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// JoulesPerMWh converts battery units: 1 mWh = 3.6 J.
+const JoulesPerMWh = 3.6
+
+// BatteryConfig parameterizes an ACPI smart battery.
+type BatteryConfig struct {
+	CapacityMWh int           // full-charge capacity (Inspiron 8600: ~59 000 mWh)
+	Refresh     time.Duration // ACPI polling data refresh period (15–20 s)
+}
+
+// DefaultBattery matches the NEMO laptops.
+func DefaultBattery() BatteryConfig {
+	return BatteryConfig{CapacityMWh: 59_000, Refresh: 18 * time.Second}
+}
+
+// Battery models one node's ACPI smart battery while the node runs on DC
+// power. Remaining capacity decreases with the node's true energy draw but
+// is visible only in integer mWh and only at refresh boundaries. While on
+// wall power (the Baytech-controlled outlet of §4.2) the battery holds its
+// charge instead of draining.
+type Battery struct {
+	n   *node.Node
+	cfg BatteryConfig
+	// baseline is the node's cumulative joules at the last recharge,
+	// advanced across wall-power periods so they do not count as drain.
+	baseline float64
+	// lastReading/lastRefresh implement the stale-until-refresh behaviour.
+	lastReading int
+	lastRefresh sim.Time
+	fresh       bool
+	// onWall marks wall power; wallStart anchors the exclusion window.
+	onWall    bool
+	wallStart float64
+}
+
+// NewBattery attaches a fully-charged battery to a node.
+func NewBattery(n *node.Node, cfg BatteryConfig) (*Battery, error) {
+	if cfg.CapacityMWh <= 0 {
+		return nil, fmt.Errorf("powerpack: non-positive battery capacity")
+	}
+	if cfg.Refresh <= 0 {
+		return nil, fmt.Errorf("powerpack: non-positive battery refresh")
+	}
+	b := &Battery{n: n, cfg: cfg}
+	b.Recharge()
+	return b, nil
+}
+
+// Recharge restores full capacity (the "fully charge all batteries" step).
+func (b *Battery) Recharge() {
+	b.baseline = b.n.Energy().Total()
+	b.wallStart = b.baseline
+	b.lastReading = b.cfg.CapacityMWh
+	b.lastRefresh = b.n.Kernel().Now()
+	b.fresh = true
+}
+
+// SetWallPower connects or disconnects the node's outlet. While
+// connected the node draws from the wall and the battery holds; the §4.2
+// protocol disconnects all laptops before a measurement.
+func (b *Battery) SetWallPower(on bool) {
+	if on == b.onWall {
+		return
+	}
+	if on {
+		b.wallStart = b.n.Energy().Total()
+	} else {
+		// Exclude the wall-powered consumption from battery drain.
+		b.baseline += b.n.Energy().Total() - b.wallStart
+	}
+	b.onWall = on
+}
+
+// OnWallPower reports whether the outlet is connected.
+func (b *Battery) OnWallPower() bool { return b.onWall }
+
+// trueRemaining returns the exact remaining capacity in mWh (float).
+func (b *Battery) trueRemaining() float64 {
+	end := b.n.Energy().Total()
+	if b.onWall {
+		end = b.wallStart // nothing drawn from the battery since connect
+	}
+	drawn := end - b.baseline
+	return float64(b.cfg.CapacityMWh) - drawn/JoulesPerMWh
+}
+
+// Poll reads the battery the way ACPI exposes it: an integer mWh value
+// that updates only when the battery controller refreshes.
+func (b *Battery) Poll() int {
+	now := b.n.Kernel().Now()
+	if b.fresh || now.Sub(b.lastRefresh) >= b.cfg.Refresh {
+		b.lastReading = int(math.Floor(b.trueRemaining()))
+		b.lastRefresh = now
+		b.fresh = false
+	}
+	return b.lastReading
+}
+
+// ForceRefresh makes the next Poll re-read the controller (used at
+// experiment boundaries, where PowerPack synchronizes readings).
+func (b *Battery) ForceRefresh() { b.fresh = true }
+
+// Empty reports whether the battery is exhausted.
+func (b *Battery) Empty() bool { return b.trueRemaining() <= 0 }
+
+// Baytech models the remote power-management strip: per-outlet average
+// power, updated once per interval, reported over SNMP to the data
+// workstation.
+type Baytech struct {
+	k        *sim.Kernel
+	outlets  []*node.Node
+	interval time.Duration
+	// lastE/lastT anchor the current reporting window; readings hold the
+	// previous window's averages.
+	lastE    []float64
+	lastT    sim.Time
+	readings []float64
+}
+
+// NewBaytech attaches a strip to the given nodes (one outlet each).
+func NewBaytech(k *sim.Kernel, outlets []*node.Node, interval time.Duration) (*Baytech, error) {
+	if len(outlets) == 0 {
+		return nil, fmt.Errorf("powerpack: no outlets")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("powerpack: non-positive Baytech interval")
+	}
+	bt := &Baytech{
+		k:        k,
+		outlets:  outlets,
+		interval: interval,
+		lastE:    make([]float64, len(outlets)),
+		lastT:    k.Now(),
+		readings: make([]float64, len(outlets)),
+	}
+	for i, n := range outlets {
+		bt.lastE[i] = n.Energy().Total()
+	}
+	return bt, nil
+}
+
+// DefaultBaytechInterval is the GPML50 update period from §4.2.
+const DefaultBaytechInterval = time.Minute
+
+// refresh closes the reporting window if it has elapsed.
+func (bt *Baytech) refresh() {
+	now := bt.k.Now()
+	if d := now.Sub(bt.lastT); d >= bt.interval {
+		sec := d.Seconds()
+		for i, n := range bt.outlets {
+			e := n.Energy().Total()
+			bt.readings[i] = (e - bt.lastE[i]) / sec
+			bt.lastE[i] = e
+		}
+		bt.lastT = now
+	}
+}
+
+// PollOutlet returns the last completed window's average watts at outlet i.
+func (bt *Baytech) PollOutlet(i int) (float64, error) {
+	if i < 0 || i >= len(bt.outlets) {
+		return 0, fmt.Errorf("powerpack: outlet %d out of range", i)
+	}
+	bt.refresh()
+	return bt.readings[i], nil
+}
+
+// PollAll returns all outlet readings.
+func (bt *Baytech) PollAll() []float64 {
+	bt.refresh()
+	out := make([]float64, len(bt.readings))
+	copy(out, bt.readings)
+	return out
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Table X: demo", "code", "delay", "energy")
+	t.AddRow("FT.C.8", "1.13", "0.62")
+	t.AddRow("EP.C.8", "2.35", "1.15")
+	t.AddNote("normalized to 1400 MHz")
+	return t
+}
+
+func TestStringAligned(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, 2 rows, note
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[5], "note:") {
+		t.Errorf("note missing: %q", lines[5])
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Table X: demo") {
+		t.Error("missing title comment")
+	}
+	if !strings.Contains(out, "code,delay,energy") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "FT.C.8,1.13,0.62") {
+		t.Error("missing row")
+	}
+	if !strings.Contains(out, "# normalized") {
+		t.Error("missing note comment")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote not doubled: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Norm(0.6251) != "0.63" {
+		t.Errorf("Norm = %q", Norm(0.6251))
+	}
+	if Pct(-0.36) != "-36%" {
+		t.Errorf("Pct = %q", Pct(-0.36))
+	}
+	if Pct(0.13) != "+13%" {
+		t.Errorf("Pct = %q", Pct(0.13))
+	}
+	if DeltaCell(0.64, 0.62) != "0.64 (+0.02)" {
+		t.Errorf("DeltaCell = %q", DeltaCell(0.64, 0.62))
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"### Table X: demo",
+		"| code | delay | energy |",
+		"| --- | --- | --- |",
+		"| FT.C.8 | 1.13 | 0.62 |",
+		"*normalized to 1400 MHz*",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// OnDemandConfig models the Linux "ondemand" cpufreq governor that
+// replaced userspace daemons like cpuspeed from kernel 2.6.9 on — the
+// in-kernel design point between the paper's CPUSPEED strategy and its
+// predictive future work. Its policy is asymmetric: jump straight to the
+// top frequency the moment utilization exceeds UpThreshold (performance
+// first), then decay one step at a time after sustained low utilization.
+type OnDemandConfig struct {
+	// SamplingRate is the in-kernel polling period (default 10–100 ms —
+	// far finer than cpuspeed's seconds).
+	SamplingRate time.Duration
+	// UpThreshold: utilization above this jumps to the top point.
+	UpThreshold float64
+	// DownDifferential: a step down requires utilization below
+	// UpThreshold − DownDifferential for DownSamples consecutive samples.
+	DownDifferential float64
+	// DownSamples is the sustained-low-sample requirement before decaying.
+	DownSamples int
+}
+
+// DefaultOnDemand matches the historical kernel defaults.
+func DefaultOnDemand() OnDemandConfig {
+	return OnDemandConfig{
+		SamplingRate:     80 * time.Millisecond,
+		UpThreshold:      0.80,
+		DownDifferential: 0.30,
+		DownSamples:      5,
+	}
+}
+
+// Validate checks the configuration.
+func (c OnDemandConfig) Validate() error {
+	if c.SamplingRate <= 0 {
+		return fmt.Errorf("sched: non-positive ondemand sampling rate")
+	}
+	if c.UpThreshold <= 0 || c.UpThreshold > 1 {
+		return fmt.Errorf("sched: ondemand up-threshold must be in (0, 1]")
+	}
+	if c.DownDifferential < 0 || c.DownDifferential >= c.UpThreshold {
+		return fmt.Errorf("sched: ondemand down-differential must be in [0, up)")
+	}
+	if c.DownSamples < 1 {
+		return fmt.Errorf("sched: ondemand needs ≥1 down sample")
+	}
+	return nil
+}
+
+// OnDemand is one node's running governor.
+type OnDemand struct {
+	node    *node.Node
+	cfg     OnDemandConfig
+	proc    *sim.Proc
+	stopped bool
+	lowRun  int
+
+	Steps, Moves int
+}
+
+// StartOnDemand spawns the governor for one node.
+func StartOnDemand(k *sim.Kernel, n *node.Node, cfg OnDemandConfig) (*OnDemand, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &OnDemand{node: n, cfg: cfg}
+	d.proc = k.Spawn(fmt.Sprintf("ondemand.n%d", n.ID), d.run)
+	return d, nil
+}
+
+// Stop terminates the governor (idempotent).
+func (d *OnDemand) Stop() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	d.proc.Interrupt()
+}
+
+func (d *OnDemand) run(p *sim.Proc) {
+	n := d.node
+	top := len(n.Table()) - 1
+	prev := n.Util()
+	for !d.stopped {
+		if _, err := p.SleepInterruptible(d.cfg.SamplingRate); err != nil {
+			break
+		}
+		cur := n.Util()
+		u := node.Utilization(prev, cur)
+		prev = cur
+		d.Steps++
+		s := n.OperatingIndex()
+		switch {
+		case u > d.cfg.UpThreshold:
+			d.lowRun = 0
+			s = top
+		case u < d.cfg.UpThreshold-d.cfg.DownDifferential:
+			d.lowRun++
+			if d.lowRun >= d.cfg.DownSamples {
+				d.lowRun = 0
+				if s > 0 {
+					s--
+				}
+			}
+		default:
+			d.lowRun = 0
+		}
+		if s != n.OperatingIndex() {
+			d.Moves++
+			if err := n.SetFrequencyIndex(s); err != nil {
+				panic(fmt.Sprintf("ondemand.n%d: %v", n.ID, err))
+			}
+		}
+	}
+}
+
+// StartOnDemandCluster starts one governor per node.
+func StartOnDemandCluster(k *sim.Kernel, nodes []*node.Node, cfg OnDemandConfig) ([]*OnDemand, func(), error) {
+	ds := make([]*OnDemand, 0, len(nodes))
+	for _, n := range nodes {
+		d, err := StartOnDemand(k, n, cfg)
+		if err != nil {
+			for _, prevD := range ds {
+				prevD.Stop()
+			}
+			return nil, nil, err
+		}
+		ds = append(ds, d)
+	}
+	stop := func() {
+		for _, d := range ds {
+			d.Stop()
+		}
+	}
+	return ds, stop, nil
+}

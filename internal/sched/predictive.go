@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// PredictiveConfig tunes the phase-aware daemon — the paper's future-work
+// direction ("better prediction methods more suitable to high-performance
+// computing applications", §7). Instead of stepping one operating point
+// per interval on the last window's utilization, it:
+//
+//  1. samples utilization in short windows, recording the *cycle demand*
+//     (utilization × current frequency, in MHz-equivalents) so history is
+//     comparable across operating points;
+//  2. detects the application's iteration period by autocorrelation over
+//     the demand history (scientific codes are periodic — the daemon's
+//     core weakness in §5.1 is being blind to this);
+//  3. predicts the next window's demand from one period ago and jumps
+//     directly to the slowest operating point that satisfies it at the
+//     target load.
+//
+// While history is insufficient or aperiodic it falls back to the classic
+// threshold walk.
+type PredictiveConfig struct {
+	// Window is the sampling/adjustment period (shorter than cpuspeed's,
+	// since prediction replaces damping).
+	Window time.Duration
+	// History is the number of windows kept for period detection.
+	History int
+	// TargetLoad is the utilization the chosen point should produce
+	// (run-just-fast-enough headroom).
+	TargetLoad float64
+	// MinCorrelation is the autocorrelation (0..1) required to trust a
+	// detected period.
+	MinCorrelation float64
+	// Fallback is used until prediction becomes confident.
+	Fallback CPUSpeedConfig
+}
+
+// DefaultPredictive returns the tuned configuration.
+func DefaultPredictive() PredictiveConfig {
+	return PredictiveConfig{
+		Window:         250 * time.Millisecond,
+		History:        64,
+		TargetLoad:     0.85,
+		MinCorrelation: 0.5,
+		Fallback:       CPUSpeedV121(),
+	}
+}
+
+// Validate checks the configuration.
+func (c PredictiveConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("sched: non-positive predictive window")
+	}
+	if c.History < 8 {
+		return fmt.Errorf("sched: predictive history must be ≥ 8 windows")
+	}
+	if c.TargetLoad <= 0 || c.TargetLoad > 1 {
+		return fmt.Errorf("sched: target load must be in (0, 1]")
+	}
+	if c.MinCorrelation < 0 || c.MinCorrelation > 1 {
+		return fmt.Errorf("sched: min correlation must be in [0, 1]")
+	}
+	return c.Fallback.Validate()
+}
+
+// Predictive is one node's running predictive daemon.
+type Predictive struct {
+	node    *node.Node
+	cfg     PredictiveConfig
+	proc    *sim.Proc
+	stopped bool
+
+	demand []float64 // ring buffer of MHz-equivalent demand
+	head   int
+	filled int
+
+	// Steps/Moves/Predicted count decisions, point changes, and decisions
+	// made by the predictor (vs fallback).
+	Steps, Moves, Predicted int
+}
+
+// StartPredictive spawns the predictive daemon for one node.
+func StartPredictive(k *sim.Kernel, n *node.Node, cfg PredictiveConfig) (*Predictive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Predictive{node: n, cfg: cfg, demand: make([]float64, cfg.History)}
+	d.proc = k.Spawn(fmt.Sprintf("predictive.n%d", n.ID), d.run)
+	return d, nil
+}
+
+// Stop terminates the daemon (idempotent).
+func (d *Predictive) Stop() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	d.proc.Interrupt()
+}
+
+func (d *Predictive) run(p *sim.Proc) {
+	n := d.node
+	top := len(n.Table()) - 1
+	prev := n.Util()
+	// fallbackS mirrors the classic walk while the predictor warms up.
+	for !d.stopped {
+		if _, err := p.SleepInterruptible(d.cfg.Window); err != nil {
+			break
+		}
+		cur := n.Util()
+		u := node.Utilization(prev, cur)
+		prev = cur
+		// Record demand in MHz-equivalents at the frequency that served it.
+		d.push(u * float64(n.Frequency()))
+		d.Steps++
+
+		var idx int
+		if pred, ok := d.predict(); ok {
+			d.Predicted++
+			idx = d.pointFor(pred)
+		} else {
+			// Classic §3.1 walk until the predictor is confident.
+			fb := d.cfg.Fallback
+			s := n.OperatingIndex()
+			switch {
+			case u < fb.MinThreshold:
+				s = 0
+			case u > fb.MaxThreshold:
+				s = top
+			case u < fb.UsageThreshold:
+				s--
+			default:
+				s++
+			}
+			if s < 0 {
+				s = 0
+			}
+			if s > top {
+				s = top
+			}
+			idx = s
+		}
+		if idx != n.OperatingIndex() {
+			d.Moves++
+			if err := n.SetFrequencyIndex(idx); err != nil {
+				panic(fmt.Sprintf("predictive.n%d: %v", n.ID, err))
+			}
+		}
+	}
+}
+
+// push appends a demand sample to the ring.
+func (d *Predictive) push(v float64) {
+	d.demand[d.head] = v
+	d.head = (d.head + 1) % len(d.demand)
+	if d.filled < len(d.demand) {
+		d.filled++
+	}
+}
+
+// series returns the demand history oldest-first.
+func (d *Predictive) series() []float64 {
+	out := make([]float64, 0, d.filled)
+	start := (d.head - d.filled + len(d.demand)) % len(d.demand)
+	for i := 0; i < d.filled; i++ {
+		out = append(out, d.demand[(start+i)%len(d.demand)])
+	}
+	return out
+}
+
+// predict returns the expected next-window demand when a trustworthy
+// period exists in the history.
+func (d *Predictive) predict() (float64, bool) {
+	s := d.series()
+	if len(s) < 16 {
+		return 0, false
+	}
+	lag, corr := dominantPeriod(s)
+	if lag == 0 || corr < d.cfg.MinCorrelation {
+		return 0, false
+	}
+	// The next window repeats the one a period ago.
+	return s[len(s)-lag], true
+}
+
+// pointFor maps a demand (MHz-equivalent) to the slowest operating point
+// that serves it at the target load.
+func (d *Predictive) pointFor(demand float64) int {
+	table := d.node.Table()
+	for i, op := range table {
+		if float64(op.Frequency)*d.cfg.TargetLoad >= demand {
+			return i
+		}
+	}
+	return len(table) - 1
+}
+
+// dominantPeriod finds the lag (2..len/2) with the highest normalized
+// autocorrelation of the mean-removed series.
+func dominantPeriod(s []float64) (lag int, corr float64) {
+	n := len(s)
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(n)
+	var den float64
+	c := make([]float64, n)
+	for i, v := range s {
+		c[i] = v - mean
+		den += c[i] * c[i]
+	}
+	if den <= 1e-12 {
+		return 0, 0 // flat series: no periodicity (constant load)
+	}
+	bestLag, bestC := 0, 0.0
+	for L := 2; L <= n/2; L++ {
+		var num float64
+		for i := L; i < n; i++ {
+			num += c[i] * c[i-L]
+		}
+		r := num / den
+		if r > bestC {
+			bestLag, bestC = L, r
+		}
+	}
+	return bestLag, bestC
+}
+
+// StartPredictiveCluster starts one predictive daemon per node.
+func StartPredictiveCluster(k *sim.Kernel, nodes []*node.Node, cfg PredictiveConfig) ([]*Predictive, func(), error) {
+	ds := make([]*Predictive, 0, len(nodes))
+	for _, n := range nodes {
+		d, err := StartPredictive(k, n, cfg)
+		if err != nil {
+			for _, prev := range ds {
+				prev.Stop()
+			}
+			return nil, nil, err
+		}
+		ds = append(ds, d)
+	}
+	stop := func() {
+		for _, d := range ds {
+			d.Stop()
+		}
+	}
+	return ds, stop, nil
+}

@@ -1,0 +1,191 @@
+// Package sched implements the paper's three distributed DVS scheduling
+// strategies (§3):
+//
+//  1. CPUSPEED DAEMON — system-driven, external: a per-node daemon polling
+//     /proc-style CPU utilization and stepping the operating point with the
+//     exact threshold algorithm of §3.1. Presets reproduce version 1.1
+//     (Fedora Core 2: 0.1 s interval, conservative thresholds that in
+//     practice keep the CPU at top speed) and version 1.2.1 (Fedora Core 3:
+//     2 s interval, retuned thresholds).
+//  2. EXTERNAL — user-driven, external: the cluster's frequencies are set
+//     once, before the run, homogeneously or per node.
+//  3. INTERNAL — user-driven, internal: the application calls
+//     mpisim.Rank.SetSpeed around code regions; this package only carries
+//     the shared policy types, the calls live in the npb workload variants.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dvs"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// CPUSpeedConfig are the daemon's tuning knobs (§3.1 pseudocode).
+type CPUSpeedConfig struct {
+	// Interval is the polling/adjustment period.
+	Interval time.Duration
+	// MinThreshold: utilization below this jumps straight to the lowest
+	// operating point (S = 0).
+	MinThreshold float64
+	// MaxThreshold: utilization above this jumps straight to the highest
+	// operating point (S = m).
+	MaxThreshold float64
+	// UsageThreshold is the step pivot: below it the daemon steps one
+	// point down, at or above it one point up.
+	UsageThreshold float64
+}
+
+// Validate checks threshold ordering.
+func (c CPUSpeedConfig) Validate() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("sched: non-positive daemon interval")
+	}
+	if !(0 <= c.MinThreshold && c.MinThreshold <= c.UsageThreshold &&
+		c.UsageThreshold <= c.MaxThreshold && c.MaxThreshold <= 1) {
+		return fmt.Errorf("sched: thresholds must satisfy 0 ≤ min ≤ usage ≤ max ≤ 1")
+	}
+	return nil
+}
+
+// CPUSpeedV11 reproduces cpuspeed 1.1 (Fedora Core 2): a 0.1 s interval
+// and a low step pivot, which on scientific codes "always chooses the
+// highest CPU speed ... without significant energy savings" (§5.1) —
+// almost every window shows enough activity to step up.
+func CPUSpeedV11() CPUSpeedConfig {
+	return CPUSpeedConfig{
+		Interval:       100 * time.Millisecond,
+		MinThreshold:   0.05,
+		MaxThreshold:   0.95,
+		UsageThreshold: 0.25,
+	}
+}
+
+// CPUSpeedV121 reproduces cpuspeed 1.2.1 (Fedora Core 3): the interval
+// default moved to 2 s and the thresholds were retuned, which is what made
+// the daemon useful on NPB codes (§5.1).
+func CPUSpeedV121() CPUSpeedConfig {
+	return CPUSpeedConfig{
+		Interval:       2 * time.Second,
+		MinThreshold:   0.05,
+		MaxThreshold:   0.95,
+		UsageThreshold: 0.70,
+	}
+}
+
+// Daemon is one node's running cpuspeed instance.
+type Daemon struct {
+	node    *node.Node
+	cfg     CPUSpeedConfig
+	proc    *sim.Proc
+	stopped bool
+	// Steps counts scheduling decisions taken; Moves counts decisions
+	// that changed the operating point.
+	Steps, Moves int
+}
+
+// StartCPUSpeed spawns the daemon proc for one node. It runs until Stop.
+func StartCPUSpeed(k *sim.Kernel, n *node.Node, cfg CPUSpeedConfig) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Daemon{node: n, cfg: cfg}
+	d.proc = k.Spawn(fmt.Sprintf("cpuspeed.n%d", n.ID), d.run)
+	return d, nil
+}
+
+// run is the §3.1 loop: poll utilization, move S, set speed, sleep.
+func (d *Daemon) run(p *sim.Proc) {
+	n := d.node
+	top := len(n.Table()) - 1
+	prev := n.Util()
+	for !d.stopped {
+		if _, err := p.SleepInterruptible(d.cfg.Interval); err != nil {
+			break // interrupted by Stop
+		}
+		cur := n.Util()
+		u := node.Utilization(prev, cur)
+		prev = cur
+		s := n.OperatingIndex()
+		switch {
+		case u < d.cfg.MinThreshold:
+			s = 0
+		case u > d.cfg.MaxThreshold:
+			s = top
+		case u < d.cfg.UsageThreshold:
+			s--
+			if s < 0 {
+				s = 0
+			}
+		default:
+			s++
+			if s > top {
+				s = top
+			}
+		}
+		d.Steps++
+		if s != n.OperatingIndex() {
+			d.Moves++
+			if err := n.SetFrequencyIndex(s); err != nil {
+				panic(fmt.Sprintf("cpuspeed.n%d: %v", n.ID, err))
+			}
+		}
+	}
+}
+
+// Stop terminates the daemon (idempotent). Safe to call from any proc or
+// completion callback; the daemon proc exits at the current virtual time.
+func (d *Daemon) Stop() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	d.proc.Interrupt()
+}
+
+// StartCluster starts one daemon per node and returns a stop-all func.
+func StartCluster(k *sim.Kernel, nodes []*node.Node, cfg CPUSpeedConfig) ([]*Daemon, func(), error) {
+	ds := make([]*Daemon, 0, len(nodes))
+	for _, n := range nodes {
+		d, err := StartCPUSpeed(k, n, cfg)
+		if err != nil {
+			for _, prev := range ds {
+				prev.Stop()
+			}
+			return nil, nil, err
+		}
+		ds = append(ds, d)
+	}
+	stop := func() {
+		for _, d := range ds {
+			d.Stop()
+		}
+	}
+	return ds, stop, nil
+}
+
+// SetAll applies a homogeneous EXTERNAL setting: every node to the point
+// nearest f, before the run (§3.2, "psetcpuspeed 600").
+func SetAll(nodes []*node.Node, f dvs.MHz) error {
+	for _, n := range nodes {
+		if err := n.SetFrequency(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetPerNode applies a heterogeneous EXTERNAL setting from a node-ID map;
+// nodes absent from the map are left unchanged.
+func SetPerNode(nodes []*node.Node, freqs map[int]dvs.MHz) error {
+	for _, n := range nodes {
+		if f, ok := freqs[n.ID]; ok {
+			if err := n.SetFrequency(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

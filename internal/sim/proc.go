@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrInterrupted is returned by interruptible blocking primitives when
+// another proc called Interrupt on the blocked proc.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// errAborted is panicked inside proc primitives during kernel shutdown; it
+// is caught by the proc wrapper and never escapes to user code.
+var errAborted = errors.New("sim: aborted")
+
+// Proc is a simulated process. A Proc's body function runs cooperatively:
+// it executes only between the kernel's event dispatches, and yields
+// whenever it calls a blocking primitive (Sleep, Queue.Wait, ...).
+//
+// A Proc must only be used from its own body function, except for
+// Interrupt, which other procs (or kernel At callbacks) may call.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan wakeKind
+
+	// pendingWake is the timer event that will resume this proc, if it is
+	// sleeping; Interrupt cancels it.
+	pendingWake *event
+	// queue is the wait queue this proc is blocked on, if any.
+	queue *Queue
+	// interruptible marks whether the current block may be interrupted.
+	interruptible bool
+	// done is set after the body returns.
+	done bool
+}
+
+// Spawn creates a proc named name whose body is fn and schedules it to
+// start at the current virtual time. It may be called before Run or from
+// inside other procs and At callbacks.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt schedules the proc to start at absolute time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if fn == nil {
+		panic("sim: Spawn with nil fn")
+	}
+	p := &Proc{k: k, name: name, wake: make(chan wakeKind)}
+	k.procs[p] = struct{}{}
+	go p.run(fn)
+	ev := &event{t: t, proc: p}
+	k.schedule(ev)
+	p.pendingWake = ev
+	return p
+}
+
+// run is the goroutine body wrapping fn with the handoff protocol.
+func (p *Proc) run(fn func(p *Proc)) {
+	kind := <-p.wake // wait for the start event
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); !ok || !errors.Is(err, errAborted) {
+				if p.k.err == nil {
+					p.k.err = &PanicError{Proc: p.name, Value: r, Stack: string(debug.Stack())}
+				}
+			}
+		}
+		p.done = true
+		delete(p.k.procs, p)
+		p.k.tracef("proc %s: exit", p.name)
+		p.k.handoff <- struct{}{}
+	}()
+	if kind == wakeAborted {
+		return
+	}
+	p.k.tracef("proc %s: start", p.name)
+	fn(p)
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// yield blocks the calling proc goroutine and resumes the kernel loop. It
+// returns the wake kind when the proc is next resumed.
+func (p *Proc) yield() wakeKind {
+	if p.k.running != p {
+		panic(fmt.Sprintf("sim: proc %q yielding while not running", p.name))
+	}
+	p.k.handoff <- struct{}{}
+	kind := <-p.wake
+	if kind == wakeAborted {
+		panic(errAborted)
+	}
+	return kind
+}
+
+// Sleep suspends the proc for d of virtual time. It cannot be interrupted.
+func (p *Proc) Sleep(d Duration) {
+	ev := &event{t: p.k.now.Add(d), proc: p}
+	p.k.schedule(ev)
+	p.pendingWake = ev
+	p.yield()
+}
+
+// SleepInterruptible suspends the proc for up to d. It returns the virtual
+// time actually slept and ErrInterrupted if another proc cut the sleep
+// short via Interrupt; otherwise err is nil and elapsed == d.
+func (p *Proc) SleepInterruptible(d Duration) (elapsed Duration, err error) {
+	start := p.k.now
+	ev := &event{t: p.k.now.Add(d), proc: p}
+	p.k.schedule(ev)
+	p.pendingWake = ev
+	p.interruptible = true
+	kind := p.yield()
+	p.interruptible = false
+	elapsed = p.k.now.Sub(start)
+	if kind == wakeInterrupted {
+		return elapsed, ErrInterrupted
+	}
+	return elapsed, nil
+}
+
+// Interrupt wakes p immediately if it is blocked in an interruptible
+// primitive (SleepInterruptible or Queue.WaitInterruptible). It reports
+// whether an interrupt was delivered. Interrupting a proc that is running,
+// done, or in a non-interruptible block is a no-op.
+func (p *Proc) Interrupt() bool {
+	if p.done || !p.interruptible || p.k.running == p {
+		return false
+	}
+	if p.pendingWake != nil {
+		p.pendingWake.canceled = true
+		p.pendingWake = nil
+	}
+	if p.queue != nil {
+		p.queue.remove(p)
+	}
+	ev := &event{t: p.k.now, proc: p, kind: wakeInterrupted}
+	p.k.schedule(ev)
+	p.pendingWake = ev
+	return true
+}
+
+// Hold parks the proc until another proc wakes it through a Queue; it is a
+// building block used by Queue and rarely called directly.
+func (p *Proc) hold(q *Queue, interruptible bool) error {
+	p.queue = q
+	p.interruptible = interruptible
+	kind := p.yield()
+	p.interruptible = false
+	p.queue = nil
+	if kind == wakeInterrupted {
+		return ErrInterrupted
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+// Queue is a FIFO wait queue: procs block on it with Wait and are released
+// one at a time by Signal or all at once by Broadcast. It is the kernel's
+// condition-variable analogue and the building block for mailboxes,
+// barriers, and resource locks in higher layers.
+//
+// A Queue belongs to a single kernel and, like all sim types, must only be
+// used from proc bodies and At callbacks of that kernel.
+type Queue struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewQueue creates a wait queue. The name appears in deadlock reports.
+func (k *Kernel) NewQueue(name string) *Queue {
+	return &Queue{k: k, name: name}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of procs currently blocked on the queue.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// Wait blocks the calling proc until a Signal or Broadcast releases it.
+func (q *Queue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	if err := p.hold(q, false); err != nil {
+		panic("sim: uninterruptible wait interrupted")
+	}
+}
+
+// WaitInterruptible blocks like Wait but may be cut short by
+// Proc.Interrupt, in which case it returns ErrInterrupted.
+func (q *Queue) WaitInterruptible(p *Proc) error {
+	q.waiters = append(q.waiters, p)
+	return p.hold(q, true)
+}
+
+// Signal releases the longest-waiting proc, scheduling it to resume at the
+// current virtual time. It reports whether a proc was released.
+func (q *Queue) Signal() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	ev := &event{t: q.k.now, proc: p}
+	q.k.schedule(ev)
+	p.pendingWake = ev
+	return true
+}
+
+// Broadcast releases all waiting procs in FIFO order.
+func (q *Queue) Broadcast() int {
+	n := len(q.waiters)
+	for q.Signal() {
+	}
+	return n
+}
+
+// remove deletes p from the queue without waking it (used by Interrupt and
+// kernel shutdown).
+func (q *Queue) remove(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "fmt"
+
+// Semaphore is a counting semaphore over the kernel's wait queues: procs
+// Acquire units (blocking FIFO when exhausted) and Release them. It backs
+// resource models — bounded NIC DMA engines, disk queue slots, licenses —
+// that higher layers may need beyond message passing.
+type Semaphore struct {
+	k     *Kernel
+	name  string
+	units int
+	avail int
+	q     *Queue
+	// pendingGrants counts released units already promised to woken
+	// waiters but not yet picked up (the wake is in the event queue).
+	pendingGrants int
+}
+
+// NewSemaphore creates a semaphore with the given number of units.
+func (k *Kernel) NewSemaphore(name string, units int) *Semaphore {
+	if units <= 0 {
+		panic(fmt.Sprintf("sim: semaphore %q needs positive units", name))
+	}
+	return &Semaphore{k: k, name: name, units: units, avail: units, q: k.NewQueue(name)}
+}
+
+// Name returns the semaphore's name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Units returns the total capacity.
+func (s *Semaphore) Units() int { return s.units }
+
+// Available returns the currently free units.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiters returns the number of blocked procs.
+func (s *Semaphore) Waiters() int { return s.q.Len() }
+
+// Acquire takes one unit, blocking in FIFO order while none are free.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.avail > s.pendingGrants {
+		s.avail--
+		return
+	}
+	s.q.Wait(p)
+	// Woken by Release: the grant reserved for us becomes our unit.
+	s.pendingGrants--
+	s.avail--
+}
+
+// TryAcquire takes a unit without blocking; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail > s.pendingGrants {
+		s.avail--
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, waking the longest waiter if any.
+func (s *Semaphore) Release() {
+	if s.avail >= s.units {
+		panic(fmt.Sprintf("sim: semaphore %q released above capacity", s.name))
+	}
+	s.avail++
+	// Grant a unit to the longest waiter when one is free beyond those
+	// already promised. (Signal removes the waiter from the queue, so
+	// every remaining queue entry is ungranted by construction.)
+	if s.q.Len() > 0 && s.avail > s.pendingGrants {
+		s.pendingGrants++
+		s.q.Signal()
+	}
+}

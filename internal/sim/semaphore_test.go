@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSemaphoreBasics(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSemaphore("s", 2)
+	if s.Units() != 2 || s.Available() != 2 || s.Name() != "s" {
+		t.Fatalf("fresh semaphore: %+v", s)
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("could not take free units")
+	}
+	if s.TryAcquire() {
+		t.Fatal("overtook capacity")
+	}
+	s.Release()
+	if s.Available() != 1 {
+		t.Fatalf("available = %d", s.Available())
+	}
+}
+
+func TestSemaphoreZeroUnitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernel().NewSemaphore("s", 0)
+}
+
+func TestSemaphoreOverReleasePanics(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSemaphore("s", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestSemaphoreBlocksAndWakesFIFO(t *testing.T) {
+	k := NewKernel()
+	s := k.NewSemaphore("s", 1)
+	var order []string
+	hold := func(name string, holdFor Duration) {
+		k.Spawn(name, func(p *Proc) {
+			s.Acquire(p)
+			order = append(order, name)
+			p.Sleep(holdFor)
+			s.Release()
+		})
+	}
+	hold("a", time.Second)
+	hold("b", time.Second)
+	hold("c", time.Second)
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSemaphoreAsResourcePool(t *testing.T) {
+	// 3 units, 9 one-second jobs → exactly 3 seconds of virtual time.
+	k := NewKernel()
+	s := k.NewSemaphore("pool", 3)
+	for i := 0; i < 9; i++ {
+		k.Spawn("job", func(p *Proc) {
+			s.Acquire(p)
+			p.Sleep(time.Second)
+			s.Release()
+		})
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != Time(3e9) {
+		t.Fatalf("finished at %v, want 3s", k.Now())
+	}
+}
+
+// Property: with random acquire/hold patterns, the semaphore never admits
+// more than its capacity simultaneously and all jobs finish.
+func TestPropertySemaphoreNeverOversubscribed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		units := 1 + rng.Intn(4)
+		jobs := 1 + rng.Intn(20)
+		k := NewKernel()
+		s := k.NewSemaphore("s", units)
+		inUse, maxUse := 0, 0
+		ok := true
+		for i := 0; i < jobs; i++ {
+			delay := Duration(rng.Intn(1000)) * time.Millisecond
+			hold := Duration(1+rng.Intn(1000)) * time.Millisecond
+			k.Spawn("j", func(p *Proc) {
+				p.Sleep(delay)
+				s.Acquire(p)
+				inUse++
+				if inUse > maxUse {
+					maxUse = inUse
+				}
+				if inUse > units {
+					ok = false
+				}
+				p.Sleep(hold)
+				inUse--
+				s.Release()
+			})
+		}
+		if err := k.Run(MaxTime); err != nil {
+			return false
+		}
+		return ok && s.Available() == units && s.Waiters() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

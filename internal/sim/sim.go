@@ -1,0 +1,276 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The kernel owns a virtual clock and an event heap. Simulated activities
+// are written as ordinary Go functions ("procs") that call blocking
+// primitives such as Sleep and Queue.Wait; under the hood each proc runs in
+// its own goroutine, but the kernel guarantees that exactly one goroutine
+// (either the kernel loop or a single proc) executes at any instant, so
+// simulations are fully deterministic: same program, same seed, same result.
+//
+// Events with equal timestamps fire in the order they were scheduled
+// (FIFO tie-break by sequence number).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration for convenience; virtual durations use
+// the same nanosecond resolution as wall-clock durations.
+type Duration = time.Duration
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns t shifted by d, saturating at MaxTime.
+func (t Time) Add(d Duration) Time {
+	if d < 0 {
+		panic("sim: negative duration")
+	}
+	s := t + Time(d)
+	if s < t {
+		return MaxTime
+	}
+	return s
+}
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// wakeKind tells a blocked proc why it was woken.
+type wakeKind int
+
+const (
+	wakeNormal      wakeKind = iota // timer fired or Signal delivered
+	wakeInterrupted                 // another proc called Interrupt
+	wakeAborted                     // kernel is shutting down after an error
+)
+
+// event is a single entry in the kernel's event heap. Exactly one of proc
+// or fn is set: proc events resume a blocked proc, fn events run a callback
+// inside the kernel loop (used for Signal delivery and At callbacks).
+type event struct {
+	t        Time
+	seq      uint64
+	proc     *Proc
+	kind     wakeKind
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation executive. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	handoff chan struct{}
+	procs   map[*Proc]struct{}
+	running *Proc
+	inRun   bool
+	err     error
+	trace   func(t Time, format string, args ...any)
+}
+
+// NewKernel returns a kernel with the clock at zero and no pending events.
+func NewKernel() *Kernel {
+	return &Kernel{
+		handoff: make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetTrace installs a debug trace sink invoked on proc lifecycle events.
+// Pass nil to disable.
+func (k *Kernel) SetTrace(fn func(t Time, format string, args ...any)) { k.trace = fn }
+
+func (k *Kernel) tracef(format string, args ...any) {
+	if k.trace != nil {
+		k.trace(k.now, format, args...)
+	}
+}
+
+// schedule inserts an event at absolute time t.
+func (k *Kernel) schedule(e *event) *event {
+	if e.t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", e.t, k.now))
+	}
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// At schedules fn to run inside the kernel loop at time t. fn must not
+// block; it may spawn procs, signal queues, and schedule further events.
+func (k *Kernel) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: At with nil fn")
+	}
+	k.schedule(&event{t: t, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// Err returns the first error (proc panic) encountered during Run, if any.
+func (k *Kernel) Err() error { return k.err }
+
+// DeadlockError is returned by Run when the event heap drains while procs
+// are still blocked on queues: they are waiting for signals that can never
+// arrive.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // names of blocked procs
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d procs blocked: %v", e.Time, len(e.Blocked), e.Blocked)
+}
+
+// PanicError wraps a panic raised inside a proc.
+type PanicError struct {
+	Proc  string
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked: %v", e.Proc, e.Value)
+}
+
+// Run executes events until the heap is empty or until (exclusive) limit.
+// Pass MaxTime to run to completion. It returns the first proc panic as a
+// *PanicError, or a *DeadlockError if procs remain blocked with no pending
+// events. On error the kernel aborts all live procs before returning so no
+// goroutines are leaked.
+func (k *Kernel) Run(limit Time) error {
+	if k.inRun {
+		panic("sim: Run reentered")
+	}
+	k.inRun = true
+	defer func() { k.inRun = false }()
+
+	for len(k.events) > 0 && k.err == nil {
+		e := heap.Pop(&k.events).(*event)
+		if e.canceled {
+			continue
+		}
+		if e.t >= limit {
+			// Put it back for a future Run call and stop.
+			heap.Push(&k.events, e)
+			k.now = limit
+			return nil
+		}
+		k.now = e.t
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.proc != nil:
+			k.resume(e.proc, e.kind)
+		}
+	}
+	if k.err != nil {
+		k.abortAll()
+		return k.err
+	}
+	if len(k.procs) > 0 {
+		names := make([]string, 0, len(k.procs))
+		for p := range k.procs {
+			names = append(names, p.name)
+		}
+		sortStrings(names)
+		err := &DeadlockError{Time: k.now, Blocked: names}
+		k.err = err
+		k.abortAll()
+		return err
+	}
+	return nil
+}
+
+// resume hands control to p until it blocks again or finishes.
+func (k *Kernel) resume(p *Proc, kind wakeKind) {
+	p.pendingWake = nil
+	k.running = p
+	p.wake <- kind
+	<-k.handoff
+	k.running = nil
+}
+
+// abortAll force-wakes every live proc with wakeAborted so their goroutines
+// unwind and exit.
+func (k *Kernel) abortAll() {
+	for len(k.procs) > 0 {
+		var p *Proc
+		for q := range k.procs {
+			p = q
+			break
+		}
+		// Cancel any pending timer so it cannot fire later.
+		if p.pendingWake != nil {
+			p.pendingWake.canceled = true
+			p.pendingWake = nil
+		}
+		if p.queue != nil {
+			p.queue.remove(p)
+		}
+		k.resume(p, wakeAborted)
+	}
+	// Drain remaining events so a subsequent Run doesn't fire callbacks of a
+	// dead simulation.
+	k.events = nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,527 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeAdd(t *testing.T) {
+	tm := Time(0).Add(5 * time.Second)
+	if tm != Time(5e9) {
+		t.Fatalf("Add: got %d, want 5e9", tm)
+	}
+	if got := tm.Sub(Time(2e9)); got != 3*time.Second {
+		t.Fatalf("Sub: got %v, want 3s", got)
+	}
+	if s := tm.Seconds(); s != 5.0 {
+		t.Fatalf("Seconds: got %v, want 5", s)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if got := MaxTime.Add(time.Second); got != MaxTime {
+		t.Fatalf("saturation: got %d", got)
+	}
+}
+
+func TestTimeAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative duration")
+		}
+	}()
+	Time(0).Add(-time.Second)
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Time(1500e6).String(); s != "1.500s" {
+		t.Fatalf("String: got %q", s)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock moved: %v", k.Now())
+	}
+}
+
+func TestSingleProcSleep(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		woke = p.Now()
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if woke != Time(3e9) {
+		t.Fatalf("woke at %v, want 3s", woke)
+	}
+}
+
+func TestAtCallbackOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(Time(2e9), func() { order = append(order, 2) })
+	k.At(Time(1e9), func() { order = append(order, 1) })
+	k.At(Time(3e9), func() { order = append(order, 3) })
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(1e9), func() { order = append(order, i) })
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated FIFO: %v", order)
+		}
+	}
+}
+
+func TestManyProcsInterleave(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		order = append(order, "a1")
+		p.Sleep(2 * time.Second)
+		order = append(order, "a3")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		order = append(order, "b2")
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []string{"a1", "b2", "a3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntilLimit(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(Time(1e9), func() { fired++ })
+	k.At(Time(5e9), func() { fired++ })
+	if err := k.Run(Time(2e9)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != Time(2e9) {
+		t.Fatalf("now = %v, want 2s", k.Now())
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestQueueSignalFIFO(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	var order []string
+	mk := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	mk("w0")
+	mk("w1")
+	mk("w2")
+	k.At(Time(1e9), func() {
+		if q.Len() != 3 {
+			t.Errorf("queue len = %d, want 3", q.Len())
+		}
+		q.Signal()
+		q.Signal()
+		q.Signal()
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestQueueBroadcast(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	released := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			q.Wait(p)
+			released++
+		})
+	}
+	k.At(Time(1e9), func() {
+		if n := q.Broadcast(); n != 5 {
+			t.Errorf("broadcast released %d, want 5", n)
+		}
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if released != 5 {
+		t.Fatalf("released = %d", released)
+	}
+}
+
+func TestSignalEmptyQueue(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	if q.Signal() {
+		t.Fatal("Signal on empty queue returned true")
+	}
+	if n := q.Broadcast(); n != 0 {
+		t.Fatalf("Broadcast on empty queue = %d", n)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("never")
+	k.Spawn("stuck", func(p *Proc) { q.Wait(p) })
+	err := k.Run(MaxTime)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v", dl.Blocked)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) {
+		p.Sleep(time.Second)
+		panic("kapow")
+	})
+	// A second proc that would otherwise run forever must be unwound.
+	q := k.NewQueue("q")
+	k.Spawn("victim", func(p *Proc) { q.Wait(p) })
+	err := k.Run(MaxTime)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected PanicError, got %v", err)
+	}
+	if pe.Proc != "boom" || pe.Value != "kapow" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+}
+
+func TestInterruptibleSleepInterrupted(t *testing.T) {
+	k := NewKernel()
+	var target *Proc
+	var elapsed Duration
+	var serr error
+	target = k.Spawn("sleeper", func(p *Proc) {
+		elapsed, serr = p.SleepInterruptible(10 * time.Second)
+	})
+	k.At(Time(4e9), func() {
+		if !target.Interrupt() {
+			t.Error("Interrupt returned false")
+		}
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !errors.Is(serr, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", serr)
+	}
+	if elapsed != 4*time.Second {
+		t.Fatalf("elapsed = %v, want 4s", elapsed)
+	}
+}
+
+func TestInterruptibleSleepCompletes(t *testing.T) {
+	k := NewKernel()
+	var elapsed Duration
+	var serr error
+	k.Spawn("sleeper", func(p *Proc) {
+		elapsed, serr = p.SleepInterruptible(2 * time.Second)
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if serr != nil || elapsed != 2*time.Second {
+		t.Fatalf("elapsed=%v err=%v", elapsed, serr)
+	}
+}
+
+func TestInterruptNonInterruptibleIsNoop(t *testing.T) {
+	k := NewKernel()
+	var target *Proc
+	target = k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+	})
+	delivered := true
+	k.At(Time(1e9), func() { delivered = target.Interrupt() })
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered {
+		t.Fatal("Interrupt on plain Sleep should be a no-op")
+	}
+}
+
+func TestInterruptDoneProcIsNoop(t *testing.T) {
+	k := NewKernel()
+	target := k.Spawn("quick", func(p *Proc) {})
+	k.At(Time(1e9), func() {
+		if target.Interrupt() {
+			t.Error("Interrupt on done proc returned true")
+		}
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestQueueWaitInterruptible(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	var werr error
+	var target *Proc
+	target = k.Spawn("waiter", func(p *Proc) {
+		werr = q.WaitInterruptible(p)
+	})
+	k.At(Time(1e9), func() { target.Interrupt() })
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !errors.Is(werr, ErrInterrupted) {
+		t.Fatalf("err = %v", werr)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("interrupted proc left on queue, len=%d", q.Len())
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel()
+	var childRan Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Kernel().Spawn("child", func(c *Proc) {
+			c.Sleep(time.Second)
+			childRan = c.Now()
+		})
+		p.Sleep(5 * time.Second)
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if childRan != Time(2e9) {
+		t.Fatalf("child ran at %v, want 2s", childRan)
+	}
+}
+
+func TestSpawnAtFuture(t *testing.T) {
+	k := NewKernel()
+	var started Time
+	k.SpawnAt(Time(7e9), "late", func(p *Proc) { started = p.Now() })
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if started != Time(7e9) {
+		t.Fatalf("started at %v", started)
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(Time(5e9), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling into past")
+			}
+		}()
+		k.At(Time(1e9), func() {})
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	runOnce := func(seed int64) []string {
+		k := NewKernel()
+		rng := rand.New(rand.NewSource(seed))
+		var log []string
+		for i := 0; i < 20; i++ {
+			name := string(rune('a' + i%26))
+			d := Duration(rng.Intn(1000)) * time.Millisecond
+			k.Spawn(name, func(p *Proc) {
+				p.Sleep(d)
+				log = append(log, name+p.Now().String())
+			})
+		}
+		if err := k.Run(MaxTime); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return log
+	}
+	a := runOnce(42)
+	b := runOnce(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, procs wake in sorted delay
+// order with FIFO tie-break, and the final clock equals the max delay.
+func TestPropertyWakeOrdering(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		if len(delaysRaw) > 50 {
+			delaysRaw = delaysRaw[:50]
+		}
+		k := NewKernel()
+		type wake struct {
+			idx int
+			at  Time
+		}
+		var wakes []wake
+		var maxD Duration
+		for i, raw := range delaysRaw {
+			i := i
+			d := Duration(raw) * time.Microsecond
+			if d > maxD {
+				maxD = d
+			}
+			k.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, wake{i, p.Now()})
+			})
+		}
+		if err := k.Run(MaxTime); err != nil {
+			return false
+		}
+		if k.Now() != Time(0).Add(maxD) {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i].at < wakes[i-1].at {
+				return false
+			}
+			if wakes[i].at == wakes[i-1].at && wakes[i].idx < wakes[i-1].idx {
+				return false // FIFO tie-break violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved At callbacks and proc sleeps never observe the
+// clock moving backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(seed int64) bool {
+		k := NewKernel()
+		rng := rand.New(rand.NewSource(seed))
+		last := Time(-1)
+		ok := true
+		check := func(now Time) {
+			if now < last {
+				ok = false
+			}
+			last = now
+		}
+		for i := 0; i < 30; i++ {
+			at := Time(rng.Intn(1_000_000))
+			k.At(at, func() { check(k.Now()) })
+			d := Duration(rng.Intn(1_000_000))
+			k.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				check(p.Now())
+			})
+		}
+		if err := k.Run(MaxTime); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortLeavesNoGoroutines(t *testing.T) {
+	// After an error, Run must unwind all proc goroutines; re-running the
+	// kernel is a no-op rather than a hang.
+	k := NewKernel()
+	q := k.NewQueue("q")
+	for i := 0; i < 10; i++ {
+		k.Spawn("w", func(p *Proc) { q.Wait(p) })
+	}
+	k.Spawn("boom", func(p *Proc) { panic("x") })
+	if err := k.Run(MaxTime); err == nil {
+		t.Fatal("expected error")
+	}
+	if len(k.procs) != 0 {
+		t.Fatalf("%d procs still live after abort", len(k.procs))
+	}
+}
+
+func TestSetTraceReceivesLifecycle(t *testing.T) {
+	k := NewKernel()
+	var lines []string
+	k.SetTrace(func(tm Time, format string, args ...interface{}) {
+		lines = append(lines, format)
+	})
+	k.Spawn("p", func(p *Proc) { p.Sleep(time.Millisecond) })
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("trace lines = %v", lines)
+	}
+	k.SetTrace(nil) // disabling must not panic on the next spawn
+	k.Spawn("q", func(p *Proc) {})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mpisim"
+	"repro/internal/sim"
+)
+
+// Export/import of trace logs — the SLOG-style interchange the real MPE
+// toolchain uses between the tracing library and Jumpshot.
+
+// eventJSON is the serialized form of one event.
+type eventJSON struct {
+	Rank  int    `json:"rank"`
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
+	Bytes int    `json:"bytes,omitempty"`
+	Peer  int    `json:"peer,omitempty"`
+}
+
+// logJSON is the serialized container.
+type logJSON struct {
+	Ranks  int         `json:"ranks"`
+	Events []eventJSON `json:"events"`
+}
+
+// kindNames maps event kinds to stable wire names.
+var kindNames = map[mpisim.EventKind]string{
+	mpisim.EvCompute:    "compute",
+	mpisim.EvMemory:     "memory",
+	mpisim.EvSend:       "send",
+	mpisim.EvRecv:       "recv",
+	mpisim.EvWait:       "wait",
+	mpisim.EvCollective: "collective",
+	mpisim.EvDisk:       "disk",
+}
+
+// kindValues is the inverse of kindNames.
+var kindValues = func() map[string]mpisim.EventKind {
+	m := make(map[string]mpisim.EventKind, len(kindNames))
+	for k, v := range kindNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// WriteJSON serializes the log.
+func (l *Log) WriteJSON(w io.Writer) error {
+	out := logJSON{Ranks: l.ranks, Events: make([]eventJSON, 0, len(l.events))}
+	for _, e := range l.events {
+		out.Events = append(out.Events, eventJSON{
+			Rank:  e.Rank,
+			Kind:  kindNames[e.Kind],
+			Name:  e.Name,
+			Start: int64(e.Start),
+			End:   int64(e.End),
+			Bytes: e.Bytes,
+			Peer:  e.Peer,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON parses WriteJSON output into a new Log.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var in logJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if in.Ranks <= 0 {
+		return nil, fmt.Errorf("trace: invalid rank count %d", in.Ranks)
+	}
+	l := New(in.Ranks)
+	for i, e := range in.Events {
+		kind, ok := kindValues[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d has unknown kind %q", i, e.Kind)
+		}
+		if e.End < e.Start {
+			return nil, fmt.Errorf("trace: event %d ends before it starts", i)
+		}
+		l.Event(e.Rank, kind, e.Name, sim.Time(e.Start), sim.Time(e.End), e.Bytes, e.Peer)
+	}
+	return l, nil
+}
+
+// Span returns the full extent of the trace.
+func (l *Log) Span() time.Duration {
+	var t1 sim.Time
+	for _, e := range l.events {
+		if e.End > t1 {
+			t1 = e.End
+		}
+	}
+	return time.Duration(t1)
+}

@@ -1,0 +1,30 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzReadJSON hardens the trace parser: no panics, and accepted traces
+// survive a summarize + re-serialize cycle.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"ranks":2,"events":[{"rank":0,"kind":"compute","name":"c","start_ns":0,"end_ns":5}]}`)
+	f.Add(`{"ranks":0}`)
+	f.Add(`{"ranks":1,"events":[{"rank":0,"kind":"??","start_ns":0,"end_ns":1}]}`)
+	f.Add(`{"ranks":1,"events":[{"rank":9,"kind":"send","start_ns":0,"end_ns":1}]}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		l, err := trace.ReadJSON(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		_ = l.SummarizeAll()
+		_ = l.Render(20)
+		var buf bytes.Buffer
+		if err := l.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+	})
+}

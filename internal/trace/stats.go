@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mpisim"
+)
+
+// Message-granularity statistics — the quantitative backing of Figure
+// 12(b)'s "profile visualized at message granularity".
+
+// MessageStats summarizes the point-to-point traffic of a trace.
+type MessageStats struct {
+	Count       int
+	Bytes       int64
+	MinBytes    int
+	MaxBytes    int
+	MeanBytes   float64
+	MedianBytes int
+	// MeanGap is the mean inter-send interval on the busiest rank — the
+	// "message communications are frequent" observation.
+	MeanGap time.Duration
+}
+
+// Messages computes message statistics over send events (each application
+// message is traced once at its sender).
+func (l *Log) Messages() MessageStats {
+	var sizes []int
+	sendsByRank := make([][]Event, l.ranks)
+	for _, e := range l.events {
+		if e.Kind == mpisim.EvSend {
+			sizes = append(sizes, e.Bytes)
+			sendsByRank[e.Rank] = append(sendsByRank[e.Rank], e)
+		}
+	}
+	st := MessageStats{Count: len(sizes)}
+	if len(sizes) == 0 {
+		return st
+	}
+	sort.Ints(sizes)
+	st.MinBytes = sizes[0]
+	st.MaxBytes = sizes[len(sizes)-1]
+	st.MedianBytes = sizes[len(sizes)/2]
+	for _, s := range sizes {
+		st.Bytes += int64(s)
+	}
+	st.MeanBytes = float64(st.Bytes) / float64(len(sizes))
+	// Busiest rank's inter-send gap.
+	busiest := 0
+	for r, evs := range sendsByRank {
+		if len(evs) > len(sendsByRank[busiest]) {
+			busiest = r
+		}
+	}
+	evs := sendsByRank[busiest]
+	if len(evs) >= 2 {
+		span := evs[len(evs)-1].Start.Sub(evs[0].Start)
+		st.MeanGap = span / time.Duration(len(evs)-1)
+	}
+	return st
+}
+
+// SizeHistogram buckets message sizes by powers of two and renders an
+// ASCII histogram (smallest bucket first).
+func (l *Log) SizeHistogram() string {
+	buckets := map[int]int{} // log2 bucket → count
+	maxBucket, total := 0, 0
+	for _, e := range l.events {
+		if e.Kind != mpisim.EvSend {
+			continue
+		}
+		b := 0
+		for v := e.Bytes; v > 1; v >>= 1 {
+			b++
+		}
+		buckets[b]++
+		total++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	if total == 0 {
+		return "(no messages)\n"
+	}
+	var sb strings.Builder
+	peak := 0
+	for _, c := range buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	for b := 0; b <= maxBucket; b++ {
+		c := buckets[b]
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", c*40/peak)
+		if bar == "" {
+			bar = "."
+		}
+		fmt.Fprintf(&sb, "%8s  %6d  %s\n", sizeLabel(b), c, bar)
+	}
+	return sb.String()
+}
+
+// sizeLabel names a power-of-two bucket.
+func sizeLabel(b int) string {
+	v := 1 << b
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%dMiB", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dKiB", v>>10)
+	}
+	return fmt.Sprintf("%dB", v)
+}
