@@ -21,6 +21,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/npb"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -66,6 +67,24 @@ func BenchmarkTable2Profiles(b *testing.B) {
 		}
 	}
 }
+
+// benchBuildProfiles times the full 8-code × 6-setting grid through the
+// sweep engine at a fixed worker count. A fresh engine per iteration keeps
+// the memo cache cold, so the numbers measure simulation fan-out, not
+// cache hits. Compare Serial vs Parallel for the pool's speedup.
+func benchBuildProfiles(b *testing.B, workers int) {
+	b.Helper()
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		o.Runner = runner.New(workers)
+		if _, err := experiments.BuildProfiles(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildProfilesSerial(b *testing.B)   { benchBuildProfiles(b, 1) }
+func BenchmarkBuildProfilesParallel(b *testing.B) { benchBuildProfiles(b, 0) }
 
 func BenchmarkFigure5CPUSpeed(b *testing.B) {
 	o := experiments.Quick()

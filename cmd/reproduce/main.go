@@ -7,6 +7,7 @@
 //	reproduce               # everything, class C
 //	reproduce -only t2,f11  # selected artifacts
 //	reproduce -class W      # faster, smaller problem class
+//	reproduce -workers 8    # sweep-engine parallelism (0 = all cores)
 //	reproduce -csv out/     # additionally write CSV files
 package main
 
@@ -22,20 +23,28 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/npb"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated artifact ids (t1,f1,f2,f5,t2,f6,f7,f8,f9,f11,f12,f14,a1,a2,a3,x1,x2,x3,x4,x5,x6,x7); empty = paper artifacts; 'all' adds the extensions")
 	classFlag := flag.String("class", "C", "problem class (S, W, A, B, C)")
+	workers := flag.Int("workers", 0, "sweep-engine parallelism: simulations run concurrently across this many workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
 	mdPath := flag.String("md", "", "also write all tables to this markdown file")
 	flag.Parse()
 
 	o := experiments.Default()
-	o.Class = npb.Class((*classFlag)[0])
-	if !o.Class.Valid() {
-		fatal(fmt.Errorf("unknown class %q", *classFlag))
+	if len(*classFlag) != 1 || !npb.Class((*classFlag)[0]).Valid() {
+		fmt.Fprintf(os.Stderr, "reproduce: invalid -class %q: want a single letter among S, W, A, B, C\n\n", *classFlag)
+		flag.Usage()
+		os.Exit(2)
 	}
+	o.Class = npb.Class((*classFlag)[0])
+	// One engine for the whole invocation: artifacts that revisit a grid
+	// cell (Table 2 → Figures 5-8 → Figure 11 → ablations) hit its
+	// memoized-run cache instead of re-simulating.
+	o.Runner = runner.New(*workers)
 
 	want := map[string]bool{}
 	everything := false
@@ -91,8 +100,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("(profiled %d codes x 6 settings in %.1fs wall)\n\n",
-			len(experiments.NPBCodes), time.Since(start).Seconds())
+		fmt.Printf("(profiled %d codes x 6 settings in %.1fs wall on %d workers)\n\n",
+			len(experiments.NPBCodes), time.Since(start).Seconds(), o.Runner.Workers())
 	}
 	if sel("f5") {
 		emit(ps.Figure5())
@@ -258,6 +267,9 @@ func main() {
 		}
 		fmt.Printf("wrote %d CSV files to %s\n", len(csv), *csvDir)
 	}
+	st := o.Runner.Stats()
+	fmt.Printf("(sweep engine: %d simulations run, %d cache hits, %d workers)\n",
+		st.Runs, st.Hits, o.Runner.Workers())
 }
 
 func fatal(err error) {

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/npb"
+	"repro/internal/runner"
+)
+
+// TestBuildProfilesByteIdenticalAcrossWorkers is the determinism guarantee
+// the reproduction rests on: the rendered Table 2 and Figure 5 must be
+// byte-identical whether the grid is simulated serially or fanned out
+// across a worker pool.
+func TestBuildProfilesByteIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) (string, string) {
+		t.Helper()
+		o := Default()
+		o.Class = npb.ClassW
+		o.Workers = workers
+		ps, err := BuildProfiles(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return ps.Table2().String(), ps.Figure5().String()
+	}
+	t2Serial, f5Serial := render(1)
+	for _, workers := range []int{2, 8} {
+		t2, f5 := render(workers)
+		if t2 != t2Serial {
+			t.Errorf("Table 2 differs between workers=1 and workers=%d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, t2Serial, t2)
+		}
+		if f5 != f5Serial {
+			t.Errorf("Figure 5 differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestSharedRunnerReusesGridCells asserts the cross-experiment memo cache:
+// with one engine shared via Options.Runner, Figure 11 revisits the FT
+// grid Table 2 already simulated and re-simulates none of it.
+func TestSharedRunnerReusesGridCells(t *testing.T) {
+	o := Default()
+	o.Class = npb.ClassW
+	o.Runner = runner.New(0)
+	if _, err := BuildProfiles(o); err != nil {
+		t.Fatal(err)
+	}
+	before := o.Runner.Stats()
+	if before.Runs != 48 { // 8 codes x (5 static + auto)
+		t.Fatalf("profile grid ran %d simulations, want 48", before.Runs)
+	}
+	if _, err := Figure11(o); err != nil {
+		t.Fatal(err)
+	}
+	after := o.Runner.Stats()
+	// Figure 11 needs the 6 FT profile cells (all cached) plus one fresh
+	// internal-scheduling run.
+	if got := after.Runs - before.Runs; got != 1 {
+		t.Errorf("Figure 11 ran %d fresh simulations on a warm cache, want 1", got)
+	}
+	if got := after.Hits - before.Hits; got != 6 {
+		t.Errorf("Figure 11 hit the cache %d times, want 6", got)
+	}
+}

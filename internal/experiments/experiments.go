@@ -16,6 +16,7 @@ import (
 	"repro/internal/npb"
 	"repro/internal/paper"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -24,6 +25,15 @@ type Options struct {
 	Class  npb.Class
 	Config core.Config
 	Daemon sched.CPUSpeedConfig
+	// Workers is the sweep-engine parallelism for the grid experiments;
+	// 0 means GOMAXPROCS, 1 is the serial reference path (results are
+	// byte-identical at any setting — see internal/runner).
+	Workers int
+	// Runner optionally shares a sweep engine — and its memoized run
+	// cache — across experiment calls, so e.g. Figure 11 reuses the FT
+	// grid cells Table 2 already simulated. When nil each call builds a
+	// fresh engine with Workers parallelism.
+	Runner *runner.Runner
 }
 
 // Default reproduces at the paper's class C on the calibrated NEMO model.
@@ -33,6 +43,14 @@ func Default() Options {
 		Config: core.DefaultConfig(),
 		Daemon: sched.CPUSpeedV121(),
 	}
+}
+
+// engine returns the shared sweep engine, or a fresh one per call.
+func (o Options) engine() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return runner.New(o.Workers)
 }
 
 // Quick reproduces at class W for fast test/bench cycles.
@@ -121,7 +139,7 @@ func Figure2(o Options) (CrescendoResult, error) {
 }
 
 func crescendoOf(w npb.Workload, o Options) (CrescendoResult, error) {
-	prof, err := core.BuildProfile(w, o.Config, o.Daemon)
+	prof, err := o.engine().BuildProfile(w, o.Config, o.Daemon)
 	if err != nil {
 		return CrescendoResult{}, err
 	}
@@ -154,19 +172,25 @@ type ProfileSet struct {
 	Profiles map[string]core.Profile // code → profile
 }
 
-// BuildProfiles measures all eight codes across the full grid.
+// BuildProfiles measures all eight codes across the full grid. Every cell
+// (code × operating point) is an independent simulation, so the whole grid
+// fans out across the sweep engine in one flat sweep.
 func BuildProfiles(o Options) (*ProfileSet, error) {
-	ps := &ProfileSet{Options: o, Profiles: map[string]core.Profile{}}
+	ws := make([]npb.Workload, 0, len(NPBCodes))
 	for _, code := range NPBCodes {
 		w, err := npb.New(code, o.Class, npb.PaperRanks(code))
 		if err != nil {
 			return nil, err
 		}
-		prof, err := core.BuildProfile(w, o.Config, o.Daemon)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", code, err)
-		}
-		ps.Profiles[code] = prof
+		ws = append(ws, w)
+	}
+	profs, err := o.engine().BuildProfiles(ws, o.Config, o.Daemon)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	ps := &ProfileSet{Options: o, Profiles: map[string]core.Profile{}}
+	for i, code := range NPBCodes {
+		ps.Profiles[code] = profs[i]
 	}
 	return ps, nil
 }
@@ -318,21 +342,28 @@ func Figure11(o Options) (StrategyComparison, error) {
 	if err != nil {
 		return StrategyComparison{}, err
 	}
-	prof, err := core.BuildProfile(ftw, o.Config, o.Daemon)
-	if err != nil {
-		return StrategyComparison{}, err
-	}
-	base := prof.Results["1400"]
-	cmpr := StrategyComparison{Workload: "FT"}
-
 	internal, err := npb.FTInternal(o.Class, npb.PaperRanks("FT"), 1400, 600)
 	if err != nil {
 		return StrategyComparison{}, err
 	}
-	ri, err := core.Run(internal, core.NoDVS(), o.Config)
+	// One sweep: the FT profile grid plus the internal-scheduling run.
+	plan, err := runner.PlanProfile(ftw, o.Config, o.Daemon)
 	if err != nil {
 		return StrategyComparison{}, err
 	}
+	jobs := append(plan.Jobs(), runner.Job{Workload: internal, Strategy: core.NoDVS(), Config: o.Config})
+	outs := o.engine().Sweep(jobs)
+	prof, err := plan.Assemble(outs[:len(outs)-1])
+	if err != nil {
+		return StrategyComparison{}, err
+	}
+	if err := outs[len(outs)-1].Err; err != nil {
+		return StrategyComparison{}, err
+	}
+	ri := outs[len(outs)-1].Result
+	base := prof.Results["1400"]
+	cmpr := StrategyComparison{Workload: "FT"}
+
 	pin := paper.InternalFT
 	cmpr.Rows = append(cmpr.Rows, ComparisonRow{
 		Label: "internal 1400/600",
@@ -368,13 +399,6 @@ func Figure14(o Options) (StrategyComparison, error) {
 	if err != nil {
 		return StrategyComparison{}, err
 	}
-	prof, err := core.BuildProfile(cgw, o.Config, o.Daemon)
-	if err != nil {
-		return StrategyComparison{}, err
-	}
-	base := prof.Results["1400"]
-	cmpr := StrategyComparison{Workload: "CG"}
-
 	variants := []struct {
 		label     string
 		policy    npb.CGPolicy
@@ -386,16 +410,34 @@ func Figure14(o Options) (StrategyComparison, error) {
 		{"phase: slow-comm 1400/600", npb.CGCommSlow, 1400, 600, ""},
 		{"phase: slow-wait 1400/600", npb.CGWaitSlow, 1400, 600, ""},
 	}
+	// One sweep: the CG profile grid plus all four internal variants.
+	plan, err := runner.PlanProfile(cgw, o.Config, o.Daemon)
+	if err != nil {
+		return StrategyComparison{}, err
+	}
+	jobs := plan.Jobs()
+	nProf := len(jobs)
 	for _, v := range variants {
 		w, err := npb.CGWithPolicy(o.Class, npb.PaperRanks("CG"), v.policy, v.high, v.low)
 		if err != nil {
 			return StrategyComparison{}, err
 		}
-		r, err := core.Run(w, core.NoDVS(), o.Config)
-		if err != nil {
-			return StrategyComparison{}, err
+		jobs = append(jobs, runner.Job{Workload: w, Strategy: core.NoDVS(), Config: o.Config})
+	}
+	outs := o.engine().Sweep(jobs)
+	prof, err := plan.Assemble(outs[:nProf])
+	if err != nil {
+		return StrategyComparison{}, err
+	}
+	base := prof.Results["1400"]
+	cmpr := StrategyComparison{Workload: "CG"}
+
+	for i, v := range variants {
+		out := outs[nProf+i]
+		if out.Err != nil {
+			return StrategyComparison{}, out.Err
 		}
-		row := ComparisonRow{Label: v.label, Cell: core.Normalize(r, base)}
+		row := ComparisonRow{Label: v.label, Cell: core.Normalize(out.Result, base)}
 		if pc, ok := paper.InternalCG[v.pub]; ok {
 			pc := pc
 			row.Paper = &pc
@@ -455,19 +497,16 @@ func AblationCPUSpeed(o Options, code string) (v11, v121 core.Normalized, err er
 	if err != nil {
 		return
 	}
-	base, err := core.Run(w, core.NoDVS(), o.Config)
-	if err != nil {
+	outs := o.engine().Sweep([]runner.Job{
+		{Workload: w, Strategy: core.NoDVS(), Config: o.Config},
+		{Workload: w, Strategy: core.Daemon(sched.CPUSpeedV11()), Config: o.Config},
+		{Workload: w, Strategy: core.Daemon(sched.CPUSpeedV121()), Config: o.Config},
+	})
+	if err = runner.FirstErr(outs); err != nil {
 		return
 	}
-	r11, err := core.Run(w, core.Daemon(sched.CPUSpeedV11()), o.Config)
-	if err != nil {
-		return
-	}
-	r121, err := core.Run(w, core.Daemon(sched.CPUSpeedV121()), o.Config)
-	if err != nil {
-		return
-	}
-	return core.Normalize(r11, base), core.Normalize(r121, base), nil
+	base := outs[0].Result
+	return core.Normalize(outs[1].Result, base), core.Normalize(outs[2].Result, base), nil
 }
 
 // AblationTransitionCost sweeps the DVS hardware transition latency for
@@ -477,25 +516,27 @@ func AblationTransitionCost(o Options, latencies []time.Duration) (*report.Table
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err := core.Run(ftw, core.NoDVS(), o.Config)
-	if err != nil {
-		return nil, nil, err
-	}
 	internal, err := npb.FTInternal(o.Class, npb.PaperRanks("FT"), 1400, 600)
 	if err != nil {
 		return nil, nil, err
 	}
-	t := report.NewTable("Ablation: DVS transition latency vs internal-FT efficiency",
-		"latency", "norm delay", "norm energy")
-	var cells []core.Normalized
+	// One sweep: the baseline plus every latency point.
+	jobs := []runner.Job{{Workload: ftw, Strategy: core.NoDVS(), Config: o.Config}}
 	for _, lat := range latencies {
 		cfg := o.Config
 		cfg.Node.Transition.Latency = lat
-		r, err := core.Run(internal, core.NoDVS(), cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		n := core.Normalize(r, base)
+		jobs = append(jobs, runner.Job{Workload: internal, Strategy: core.NoDVS(), Config: cfg})
+	}
+	outs := o.engine().Sweep(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		return nil, nil, err
+	}
+	base := outs[0].Result
+	t := report.NewTable("Ablation: DVS transition latency vs internal-FT efficiency",
+		"latency", "norm delay", "norm energy")
+	var cells []core.Normalized
+	for i, lat := range latencies {
+		n := core.Normalize(outs[i+1].Result, base)
 		cells = append(cells, n)
 		t.AddRow(lat.String(), report.Norm(n.Delay), report.Norm(n.Energy))
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/npb"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -58,30 +59,28 @@ func X2PredictiveDaemon(o Options, codes []string) (*report.Table, map[string][3
 	t := report.NewTable("X2: governor evolution — cpuspeed 1.2.1 vs ondemand vs predictive (D/E, ED2P)",
 		"code", "cpuspeed", "ED2P", "ondemand", "ED2P", "predictive", "ED2P")
 	out := map[string][3]core.Normalized{}
+	// One flat sweep: every code × every governor generation.
+	var jobs []runner.Job
 	for _, code := range codes {
 		w, err := npb.New(code, o.Class, npb.PaperRanks(code))
 		if err != nil {
 			return nil, nil, err
 		}
-		base, err := core.Run(w, core.NoDVS(), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		auto, err := core.Run(w, core.Daemon(o.Daemon), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		od, err := core.Run(w, core.OnDemand(sched.DefaultOnDemand()), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		pred, err := core.Run(w, core.Predictive(sched.DefaultPredictive()), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		na := core.Normalize(auto, base)
-		no := core.Normalize(od, base)
-		np := core.Normalize(pred, base)
+		jobs = append(jobs,
+			runner.Job{Workload: w, Strategy: core.NoDVS(), Config: o.Config},
+			runner.Job{Workload: w, Strategy: core.Daemon(o.Daemon), Config: o.Config},
+			runner.Job{Workload: w, Strategy: core.OnDemand(sched.DefaultOnDemand()), Config: o.Config},
+			runner.Job{Workload: w, Strategy: core.Predictive(sched.DefaultPredictive()), Config: o.Config})
+	}
+	outs := o.engine().Sweep(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		return nil, nil, err
+	}
+	for i, code := range codes {
+		base := outs[4*i].Result
+		na := core.Normalize(outs[4*i+1].Result, base)
+		no := core.Normalize(outs[4*i+2].Result, base)
+		np := core.Normalize(outs[4*i+3].Result, base)
 		out[code] = [3]core.Normalized{na, np, no}
 		cell := func(n core.Normalized) (string, string) {
 			return fmt.Sprintf("%s/%s", report.Norm(n.Delay), report.Norm(n.Energy)),
@@ -189,11 +188,16 @@ func X6Reliability(o Options) (*report.Table, map[string]core.Result, error) {
 	t := report.NewTable("X6: FT thermal & reliability by strategy (Arrhenius, ref 60°C)",
 		"strategy", "avg die °C", "max die °C", "lifetime ×", "energy J")
 	out := map[string]core.Result{}
-	for _, r := range runs {
-		res, err := core.Run(r.w, r.s, o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
+	jobs := make([]runner.Job, len(runs))
+	for i, r := range runs {
+		jobs[i] = runner.Job{Workload: r.w, Strategy: r.s, Config: o.Config}
+	}
+	outs := o.engine().Sweep(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		return nil, nil, err
+	}
+	for i, r := range runs {
+		res := outs[i].Result
 		out[r.label] = res
 		maxC := 0.0
 		for _, th := range res.Thermal {
@@ -220,7 +224,8 @@ func X7PowerCap(o Options, fractions []float64) (*report.Table, map[float64]core
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err := core.Run(w, core.NoDVS(), o.Config)
+	eng := o.engine()
+	base, err := eng.Run(w, core.NoDVS(), o.Config)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,14 +244,20 @@ func X7PowerCap(o Options, fractions []float64) (*report.Table, map[float64]core
 	}
 	addRow("none", 1, base)
 	out[1] = base
-	for _, frac := range fractions {
+	// The budgets all derive from the shared baseline, so the capped runs
+	// sweep together once it is in hand.
+	jobs := make([]runner.Job, len(fractions))
+	for i, frac := range fractions {
 		budget := basePower * frac
-		r, err := core.Run(w, core.PowerCap(sched.DefaultPowerCap(budget)), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		out[frac] = r
-		addRow(fmt.Sprintf("%.0f%%", frac*100), frac, r)
+		jobs[i] = runner.Job{Workload: w, Strategy: core.PowerCap(sched.DefaultPowerCap(budget)), Config: o.Config}
+	}
+	outs := eng.Sweep(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		return nil, nil, err
+	}
+	for i, frac := range fractions {
+		out[frac] = outs[i].Result
+		addRow(fmt.Sprintf("%.0f%%", frac*100), frac, outs[i].Result)
 	}
 	t.AddNote("budget is the cap as a fraction of the uncapped run's average power")
 	return t, out, nil
@@ -258,6 +269,8 @@ func X5Scaling(o Options, sizes []int) (*report.Table, map[int]core.Normalized, 
 	t := report.NewTable("X5: internal-FT scheduling vs cluster size",
 		"ranks", "norm delay", "norm energy", "saving")
 	out := map[int]core.Normalized{}
+	// One flat sweep: (plain, internal) per cluster size.
+	var jobs []runner.Job
 	for _, n := range sizes {
 		plain, err := npb.FT(o.Class, n)
 		if err != nil {
@@ -267,15 +280,16 @@ func X5Scaling(o Options, sizes []int) (*report.Table, map[int]core.Normalized, 
 		if err != nil {
 			return nil, nil, err
 		}
-		base, err := core.Run(plain, core.NoDVS(), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := core.Run(internal, core.NoDVS(), o.Config)
-		if err != nil {
-			return nil, nil, err
-		}
-		nr := core.Normalize(res, base)
+		jobs = append(jobs,
+			runner.Job{Workload: plain, Strategy: core.NoDVS(), Config: o.Config},
+			runner.Job{Workload: internal, Strategy: core.NoDVS(), Config: o.Config})
+	}
+	outs := o.engine().Sweep(jobs)
+	if err := runner.FirstErr(outs); err != nil {
+		return nil, nil, err
+	}
+	for i, n := range sizes {
+		nr := core.Normalize(outs[2*i+1].Result, outs[2*i].Result)
 		out[n] = nr
 		t.AddRow(fmt.Sprintf("%d", n), report.Norm(nr.Delay), report.Norm(nr.Energy),
 			report.Pct(1-nr.Energy))

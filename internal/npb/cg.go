@@ -69,7 +69,11 @@ func CGWithPolicy(class Class, ranks int, policy CGPolicy, high, low dvs.MHz) (W
 	compLight := compHeavy * 0.55
 	mem := 36.8 * s * 8 / float64(ranks) // ms per inner iteration
 	pair := bytesScaled(680_000*8/ranks, s)
-	return Workload{Code: "CG", Class: class, Ranks: ranks, Variant: policy.variant(), Body: func(r *mpisim.Rank) {
+	params := ""
+	if policy != CGPlain {
+		params = fmt.Sprintf("%.0f/%.0f", float64(high), float64(low))
+	}
+	return Workload{Code: "CG", Class: class, Ranks: ranks, Variant: policy.variant(), Params: params, Body: func(r *mpisim.Rank) {
 		n := r.Size()
 		half := n / 2
 		heavy := r.ID() < half

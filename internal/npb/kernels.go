@@ -1,6 +1,7 @@
 package npb
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/dvs"
@@ -71,7 +72,11 @@ func ftWorkload(class Class, ranks int, high, low dvs.MHz, variant string) (Work
 	mem := 470.0 * s * 8 / float64(ranks)  // ms per iteration
 	pair := bytesScaled(2_375_000*8/ranks, s)
 	internal := variant != ""
-	return Workload{Code: "FT", Class: class, Ranks: ranks, Variant: variant, Body: func(r *mpisim.Rank) {
+	params := ""
+	if internal {
+		params = fmt.Sprintf("%.0f/%.0f", float64(high), float64(low))
+	}
+	return Workload{Code: "FT", Class: class, Ranks: ranks, Variant: variant, Params: params, Body: func(r *mpisim.Rank) {
 		for it := 0; it < iters; it++ {
 			r.Compute(comp)
 			r.MemoryStall(msec(mem))

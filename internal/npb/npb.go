@@ -68,6 +68,14 @@ type Workload struct {
 	// Variant is "" for the plain benchmark, otherwise the
 	// internal-scheduling variant name (e.g. "internal", "internal-I").
 	Variant string
+	// Params captures any builder parameters beyond code/class/ranks that
+	// the Body closure bakes in (e.g. "1400/600" for FTInternal's
+	// high/low speeds). It completes the workload's value identity: two
+	// workloads with equal ID() run identically. Builders whose extra
+	// parameters cannot be summarized (e.g. synthetic op lists) must
+	// leave a non-empty Variant with empty Params, which marks the
+	// workload as non-content-addressable (see ID).
+	Params string
 	// Body is the per-rank program.
 	Body func(r *mpisim.Rank)
 	// Policy is optional PMPI-style middleware (e.g. the automatic DVS
@@ -82,6 +90,21 @@ func (w Workload) Name() string {
 		n += "+" + w.Variant
 	}
 	return n
+}
+
+// ID returns the workload's full value identity — Name plus the builder
+// parameters baked into Body — and whether that identity is complete.
+// It is incomplete (ok == false) when the workload is a variant that did
+// not declare its parameters, or when middleware is attached: such
+// workloads cannot safely be deduplicated by key.
+func (w Workload) ID() (id string, ok bool) {
+	if w.Policy != nil || (w.Variant != "" && w.Params == "") {
+		return "", false
+	}
+	if w.Params == "" {
+		return w.Name(), true
+	}
+	return w.Name() + "@" + w.Params, true
 }
 
 // WithPolicy returns a copy of the workload with middleware attached and

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+	"repro/internal/sched"
+)
+
+// ProfilePlan expands one workload's full energy-performance profile —
+// every static operating point plus the daemon — into sweep jobs, and
+// knows how to assemble the outcomes back into a core.Profile. Plans
+// compose: concatenate several plans' Jobs (plus any extra one-off jobs)
+// into a single Sweep, then hand each plan its slice of the outcomes.
+type ProfilePlan struct {
+	workload npb.Workload
+	settings []string // column order: frequencies ascending, then "auto"
+	jobs     []Job    // aligned with settings
+	baseIdx  int      // index of the top-frequency (NoDVS) job
+}
+
+// PlanProfile builds the job list for w's profile grid under cfg: one
+// NoDVS run at the top point (the normalization baseline), one External
+// run per remaining operating point, and one Daemon run.
+func PlanProfile(w npb.Workload, cfg core.Config, daemon sched.CPUSpeedConfig) (*ProfilePlan, error) {
+	table := cfg.Node.Table
+	if len(table) == 0 {
+		return nil, fmt.Errorf("runner: empty operating-point table")
+	}
+	top := table.Top().Frequency
+	p := &ProfilePlan{workload: w, baseIdx: -1}
+	for _, f := range table.Frequencies() {
+		key := fmt.Sprintf("%.0f", float64(f))
+		strat := core.External(f)
+		if f == top {
+			strat = core.NoDVS()
+			p.baseIdx = len(p.jobs)
+		}
+		p.settings = append(p.settings, key)
+		p.jobs = append(p.jobs, Job{Workload: w, Strategy: strat, Config: cfg})
+	}
+	if p.baseIdx < 0 {
+		return nil, fmt.Errorf("runner: table for %s has no top point", w.Name())
+	}
+	p.settings = append(p.settings, "auto")
+	p.jobs = append(p.jobs, Job{Workload: w, Strategy: core.Daemon(daemon), Config: cfg})
+	return p, nil
+}
+
+// Jobs returns the plan's sweep jobs in settings order.
+func (p *ProfilePlan) Jobs() []Job { return p.jobs }
+
+// Assemble turns the plan's outcomes (the Sweep results for exactly
+// Jobs()) into a core.Profile, normalizing every cell to the top-point
+// baseline.
+func (p *ProfilePlan) Assemble(outs []Outcome) (core.Profile, error) {
+	prof := core.Profile{
+		Workload: p.workload.Name(),
+		Results:  map[string]core.Result{},
+		Cells:    map[string]core.Normalized{},
+	}
+	if len(outs) != len(p.jobs) {
+		return prof, fmt.Errorf("runner: profile %s: %d outcomes for %d jobs",
+			prof.Workload, len(outs), len(p.jobs))
+	}
+	for i, out := range outs {
+		if out.Err != nil {
+			return prof, fmt.Errorf("runner: profile %s at %s: %w",
+				prof.Workload, p.settings[i], out.Err)
+		}
+	}
+	base := outs[p.baseIdx].Result
+	for i, key := range p.settings {
+		r := outs[i].Result
+		prof.Settings = append(prof.Settings, key)
+		prof.Results[key] = r
+		prof.Cells[key] = core.Normalize(r, base)
+	}
+	return prof, nil
+}
+
+// Base returns the plan's baseline (top-point NoDVS) result from outs.
+func (p *ProfilePlan) Base(outs []Outcome) core.Result { return outs[p.baseIdx].Result }
+
+// BuildProfile measures one workload's full grid across the pool — the
+// parallel, memoized equivalent of core.BuildProfile.
+func (r *Runner) BuildProfile(w npb.Workload, cfg core.Config, daemon sched.CPUSpeedConfig) (core.Profile, error) {
+	plan, err := PlanProfile(w, cfg, daemon)
+	if err != nil {
+		return core.Profile{}, err
+	}
+	return plan.Assemble(r.Sweep(plan.Jobs()))
+}
+
+// BuildProfiles measures several workloads' grids in one flat sweep, so
+// every cell of every code fans out across the pool at once. Profiles are
+// returned in workload order.
+func (r *Runner) BuildProfiles(ws []npb.Workload, cfg core.Config, daemon sched.CPUSpeedConfig) ([]core.Profile, error) {
+	plans := make([]*ProfilePlan, len(ws))
+	var jobs []Job
+	for i, w := range ws {
+		plan, err := PlanProfile(w, cfg, daemon)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = plan
+		jobs = append(jobs, plan.Jobs()...)
+	}
+	outs := r.Sweep(jobs)
+	profs := make([]core.Profile, len(ws))
+	off := 0
+	for i, plan := range plans {
+		n := len(plan.Jobs())
+		prof, err := plan.Assemble(outs[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		profs[i] = prof
+		off += n
+	}
+	return profs, nil
+}

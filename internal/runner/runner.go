@@ -1,0 +1,250 @@
+// Package runner is the parallel sweep engine: it fans independent
+// core.Run invocations — the cells of a profile grid, the arms of a
+// strategy comparison, the points of an ablation sweep — across a
+// work-stealing worker pool and returns results in deterministic
+// submission order.
+//
+// Every simulation is a pure function of its (workload, strategy, config)
+// inputs, so the engine also memoizes completed runs in a content-addressed
+// cache: overlapping experiments (Table 2 → Figures 5–8 → Figure 11) never
+// re-simulate the same cell, whether they execute concurrently within one
+// sweep or across separate calls sharing a Runner.
+//
+// Determinism guarantee: because each core.Run builds its own simulation
+// kernel and shares no mutable state, Sweep's output depends only on the
+// job list — never on the worker count or on scheduling order. Rendered
+// tables are byte-identical at Workers: 1 and Workers: N; the serial
+// configuration exists purely for bisection and baseline benchmarking.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+)
+
+// Job is one independent simulation: a grid cell, comparison arm, or
+// ablation point.
+type Job struct {
+	Workload npb.Workload
+	Strategy core.Strategy
+	Config   core.Config
+}
+
+// Key returns the job's content address and whether the job is cacheable.
+// A job is uncacheable when its inputs are not fully value-identified: a
+// tracer is attached (side effects), middleware is installed, or the
+// workload is a variant that did not declare its closure parameters
+// (npb.Workload.ID).
+func (j Job) Key() (string, bool) {
+	id, ok := j.Workload.ID()
+	if !ok || j.Config.Tracer != nil || j.Workload.Body == nil {
+		return "", false
+	}
+	// %#v, not %+v: it never invokes String() methods (core.Strategy's
+	// Stringer collapses distinct daemon configs to "auto"), and fmt
+	// prints maps sorted by key, so the rendering is deterministic.
+	h := sha256.New()
+	fmt.Fprintf(h, "w=%s|strat=%#v|node=%#v|net=%#v|mpi=%#v",
+		id, j.Strategy, j.Config.Node, j.Config.Net, j.Config.MPI)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// Outcome is one job's result, aligned index-for-index with the submitted
+// job list.
+type Outcome struct {
+	Result core.Result
+	Err    error
+	// Cached reports that the result came from the memo cache (including
+	// coalescing onto an identical in-flight job) rather than a fresh
+	// simulation.
+	Cached bool
+}
+
+// Stats counts the engine's work.
+type Stats struct {
+	Runs int // simulations actually executed
+	Hits int // jobs satisfied from the cache (or coalesced in-flight)
+}
+
+// entry is a memo-cache slot; done is closed once res/err are final, so
+// concurrent identical jobs coalesce onto one simulation.
+type entry struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// Runner is the sweep engine. It is safe for concurrent use; a single
+// Runner shared across experiments shares one memo cache.
+type Runner struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+}
+
+// New returns an engine with the given parallelism; workers <= 0 selects
+// GOMAXPROCS. Workers: 1 is the serial reference configuration.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cache: map[string]*entry{}}
+}
+
+// Workers returns the engine's parallelism.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the engine's run/hit counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Run executes one job through the memo cache on the calling goroutine.
+func (r *Runner) Run(w npb.Workload, strat core.Strategy, cfg core.Config) (core.Result, error) {
+	out := r.run(Job{Workload: w, Strategy: strat, Config: cfg})
+	return out.Result, out.Err
+}
+
+// run executes or memo-resolves a single job.
+func (r *Runner) run(j Job) Outcome {
+	key, cacheable := j.Key()
+	if !cacheable {
+		r.mu.Lock()
+		r.stats.Runs++
+		r.mu.Unlock()
+		res, err := core.Run(j.Workload, j.Strategy, j.Config)
+		return Outcome{Result: res, Err: err}
+	}
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.stats.Hits++
+		r.mu.Unlock()
+		<-e.done // completed entries have done already closed
+		return Outcome{Result: e.res, Err: e.err, Cached: true}
+	}
+	e := &entry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.stats.Runs++
+	r.mu.Unlock()
+	e.res, e.err = core.Run(j.Workload, j.Strategy, j.Config)
+	close(e.done)
+	return Outcome{Result: e.res, Err: e.err}
+}
+
+// deque is one worker's mutex-guarded job queue (indices into the sweep's
+// job slice). The owner pops from the back; thieves take from the front,
+// so steals grab the work farthest from what the owner touches next.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.jobs)
+	if n == 0 {
+		return 0, false
+	}
+	i := d.jobs[n-1]
+	d.jobs = d.jobs[:n-1]
+	return i, true
+}
+
+// steal moves up to half the victim's jobs (front half) into grab,
+// returning them. It returns nil when the victim has nothing to give.
+func (d *deque) steal() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.jobs)
+	if n == 0 {
+		return nil
+	}
+	take := (n + 1) / 2
+	grab := make([]int, take)
+	copy(grab, d.jobs[:take])
+	d.jobs = append(d.jobs[:0], d.jobs[take:]...)
+	return grab
+}
+
+func (d *deque) push(jobs []int) {
+	d.mu.Lock()
+	d.jobs = append(d.jobs, jobs...)
+	d.mu.Unlock()
+}
+
+// Sweep executes all jobs across the worker pool and returns outcomes in
+// submission order, independent of worker count and scheduling. Identical
+// jobs within a sweep simulate once and coalesce.
+func (r *Runner) Sweep(jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	workers := r.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			out[i] = r.run(j)
+		}
+		return out
+	}
+
+	// Deal contiguous chunks to per-worker deques; workers that drain
+	// their own deque steal half of a victim's remainder. No job creates
+	// new jobs, so the sweep is done when every deque is empty.
+	deques := make([]*deque, workers)
+	for w := 0; w < workers; w++ {
+		deques[w] = &deque{}
+	}
+	for i := range jobs {
+		d := deques[i*workers/len(jobs)]
+		d.jobs = append(d.jobs, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := deques[self].pop()
+				if !ok {
+					stolen := false
+					for v := 1; v < workers; v++ {
+						if grab := deques[(self+v)%workers].steal(); grab != nil {
+							deques[self].push(grab)
+							stolen = true
+							break
+						}
+					}
+					if !stolen {
+						return
+					}
+					continue
+				}
+				out[i] = r.run(jobs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// FirstErr returns the first error among outcomes, in submission order.
+func FirstErr(outs []Outcome) error {
+	for i := range outs {
+		if outs[i].Err != nil {
+			return outs[i].Err
+		}
+	}
+	return nil
+}

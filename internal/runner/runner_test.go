@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+	"repro/internal/sched"
+)
+
+func quickCfg() core.Config { return core.DefaultConfig() }
+
+func ftS(t testing.TB) npb.Workload {
+	t.Helper()
+	w, err := npb.FT(npb.ClassS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestKeyDistinguishesInputs(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	base := Job{Workload: w, Strategy: core.NoDVS(), Config: cfg}
+	k0, ok := base.Key()
+	if !ok || k0 == "" {
+		t.Fatal("base job should be cacheable")
+	}
+	altCfg := cfg
+	altCfg.Node.Transition.Latency = 5 * time.Millisecond
+	w4, err := npb.FT(npb.ClassS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Job{
+		{Workload: w, Strategy: core.External(600), Config: cfg},
+		{Workload: w, Strategy: core.Daemon(sched.CPUSpeedV11()), Config: cfg},
+		{Workload: w, Strategy: core.Daemon(sched.CPUSpeedV121()), Config: cfg},
+		{Workload: w4, Strategy: core.NoDVS(), Config: cfg},
+		{Workload: w, Strategy: core.NoDVS(), Config: altCfg},
+	}
+	seen := map[string]int{k0: -1}
+	for i, j := range variants {
+		k, ok := j.Key()
+		if !ok {
+			t.Fatalf("variant %d should be cacheable", i)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestKeyDistinguishesInternalParams(t *testing.T) {
+	a, err := npb.FTInternal(npb.ClassS, 2, 1400, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := npb.FTInternal(npb.ClassS, 2, 1200, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	ka, oka := Job{Workload: a, Strategy: core.NoDVS(), Config: cfg}.Key()
+	kb, okb := Job{Workload: b, Strategy: core.NoDVS(), Config: cfg}.Key()
+	if !oka || !okb {
+		t.Fatal("internal variants with declared params should be cacheable")
+	}
+	if ka == kb {
+		t.Fatal("different internal frequencies must not share a key")
+	}
+}
+
+func TestKeyRefusesIncompleteIdentity(t *testing.T) {
+	w, err := npb.Custom("SYNTH", 2, npb.ComputeOp(1), npb.BarrierOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := (Job{Workload: w, Strategy: core.NoDVS(), Config: quickCfg()}).Key(); ok {
+		t.Fatal("synthetic workload without declared params must be uncacheable")
+	}
+}
+
+// TestSweepMatchesSerial proves the determinism guarantee at the Result
+// level: a parallel sweep returns exactly what per-job serial execution
+// returns, in submission order.
+func TestSweepMatchesSerial(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	var jobs []Job
+	for _, f := range cfg.Node.Table.Frequencies() {
+		jobs = append(jobs, Job{Workload: w, Strategy: core.External(f), Config: cfg})
+	}
+	jobs = append(jobs, Job{Workload: w, Strategy: core.NoDVS(), Config: cfg})
+
+	serial := make([]core.Result, len(jobs))
+	for i, j := range jobs {
+		r, err := core.Run(j.Workload, j.Strategy, j.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	for _, workers := range []int{1, 2, 8} {
+		outs := New(workers).Sweep(jobs)
+		if err := FirstErr(outs); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range outs {
+			if !reflect.DeepEqual(outs[i].Result, serial[i]) {
+				t.Fatalf("workers=%d: job %d result differs from serial run", workers, i)
+			}
+		}
+	}
+}
+
+// TestRepeatedCellSimulatesOnce asserts the memo cache: a duplicated grid
+// cell — within one sweep and across sweeps — runs exactly one simulation.
+func TestRepeatedCellSimulatesOnce(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	job := Job{Workload: w, Strategy: core.External(600), Config: cfg}
+	r := New(4)
+	outs := r.Sweep([]Job{job, job, job, job})
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Runs != 1 || st.Hits != 3 {
+		t.Fatalf("after one sweep of 4 identical jobs: runs=%d hits=%d, want 1/3", st.Runs, st.Hits)
+	}
+	if _, err := r.Run(job.Workload, job.Strategy, job.Config); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Runs != 1 || st.Hits != 4 {
+		t.Fatalf("after repeat call: runs=%d hits=%d, want 1/4", st.Runs, st.Hits)
+	}
+	for i := range outs {
+		if !reflect.DeepEqual(outs[i].Result, outs[0].Result) {
+			t.Fatalf("coalesced outcome %d differs", i)
+		}
+	}
+}
+
+// TestBuildProfileMatchesCore pins the runner's profile assembly to the
+// serial reference implementation in core.
+func TestBuildProfileMatchesCore(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	daemon := sched.CPUSpeedV121()
+	want, err := core.BuildProfile(w, cfg, daemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := New(workers).BuildProfile(w, cfg, daemon)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: profile differs from core.BuildProfile", workers)
+		}
+	}
+}
+
+func TestBuildProfilesFlattensAcrossWorkloads(t *testing.T) {
+	cfg := quickCfg()
+	daemon := sched.CPUSpeedV121()
+	var ws []npb.Workload
+	for _, code := range []string{"EP", "FT"} {
+		w, err := npb.New(code, npb.ClassS, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	r := New(8)
+	profs, err := r.BuildProfiles(ws, cfg, daemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 || profs[0].Workload != ws[0].Name() || profs[1].Workload != ws[1].Name() {
+		t.Fatalf("profiles out of order: %+v", profs)
+	}
+	// 2 codes x (5 static + auto) distinct cells.
+	if st := r.Stats(); st.Runs != 12 {
+		t.Fatalf("runs=%d, want 12", st.Runs)
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	w := ftS(t)
+	bad := quickCfg()
+	bad.Node.Table = nil // core.Run must reject this
+	outs := New(2).Sweep([]Job{
+		{Workload: w, Strategy: core.NoDVS(), Config: quickCfg()},
+		{Workload: w, Strategy: core.NoDVS(), Config: bad},
+	})
+	if outs[0].Err != nil {
+		t.Fatalf("good job failed: %v", outs[0].Err)
+	}
+	if outs[1].Err == nil {
+		t.Fatal("bad job should fail")
+	}
+	if FirstErr(outs) != outs[1].Err {
+		t.Fatal("FirstErr should surface the bad job's error")
+	}
+}
+
+func TestSweepManyMoreJobsThanWorkers(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	freqs := cfg.Node.Table.Frequencies()
+	var jobs []Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, Job{Workload: w, Strategy: core.External(freqs[i%len(freqs)]), Config: cfg})
+	}
+	r := New(3)
+	outs := r.Sweep(jobs)
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+	// 40 jobs over 5 distinct cells: exactly 5 simulations.
+	if st := r.Stats(); st.Runs != len(freqs) || st.Runs+st.Hits != len(jobs) {
+		t.Fatalf("runs=%d hits=%d, want %d distinct and %d total", st.Runs, st.Hits, len(freqs), len(jobs))
+	}
+	for i, out := range outs {
+		if out.Result.Strategy != jobs[i].Strategy.String() {
+			t.Fatalf("job %d: outcome misaligned (%s vs %s)", i, out.Result.Strategy, jobs[i].Strategy)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleHotPathAllocFree pins the event fast path: once the
+// freelist is warm, one schedule→pop→dispatch cycle performs zero heap
+// allocations. Before the concrete sift-up/sift-down replaced
+// container/heap, every event paid at least one `any`-boxing allocation
+// on Push/Pop alone.
+func TestScheduleHotPathAllocFree(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	at := Time(0)
+	// Warm the freelist and the heap's backing array.
+	for i := 0; i < 8; i++ {
+		at = at.Add(time.Microsecond)
+		k.At(at, fn)
+	}
+	if err := k.Run(at + 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		at = at.Add(time.Microsecond)
+		k.At(at, fn)
+		if err := k.Run(at + 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/pop hot path allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+// TestSignalHotPathAllocFree covers the proc wake path Queue.Signal uses:
+// recycled events keep it allocation-free too.
+func TestSignalHotPathAllocFree(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	const rounds = 2000
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			q.Wait(p)
+		}
+	})
+	at := Time(0)
+	for i := 0; i < rounds; i++ {
+		at = at.Add(time.Microsecond)
+		k.At(at, func() { q.Signal() })
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreelistRecycles asserts events actually round-trip through the
+// pool instead of growing it without bound.
+func TestFreelistRecycles(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	at := Time(0)
+	for i := 0; i < 10000; i++ {
+		at = at.Add(time.Microsecond)
+		k.At(at, fn)
+		if err := k.Run(at + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(k.free); got > 8 {
+		t.Fatalf("freelist grew to %d events for a 1-deep schedule", got)
+	}
+}
+
+// BenchmarkKernelScheduleAndPop is the kernel micro-benchmark for the
+// event fast path; run with -benchmem to see allocs/op (0 in steady
+// state).
+func BenchmarkKernelScheduleAndPop(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	fn := func() {}
+	at := Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(time.Microsecond)
+		k.At(at, fn)
+		if err := k.Run(at + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelDeepHeap exercises sift-up/sift-down with a 1024-event
+// backlog.
+func BenchmarkKernelDeepHeap(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	fn := func() {}
+	at := Time(0)
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		at = at.Add(time.Microsecond)
+		k.At(at, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(time.Microsecond)
+		k.At(at, fn)
+		if err := k.Run(k.now.Add(time.Microsecond) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

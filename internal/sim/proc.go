@@ -51,7 +51,8 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, wake: make(chan wakeKind)}
 	k.procs[p] = struct{}{}
 	go p.run(fn)
-	ev := &event{t: t, proc: p}
+	ev := k.alloc()
+	ev.t, ev.proc = t, p
 	k.schedule(ev)
 	p.pendingWake = ev
 	return p
@@ -105,7 +106,8 @@ func (p *Proc) yield() wakeKind {
 
 // Sleep suspends the proc for d of virtual time. It cannot be interrupted.
 func (p *Proc) Sleep(d Duration) {
-	ev := &event{t: p.k.now.Add(d), proc: p}
+	ev := p.k.alloc()
+	ev.t, ev.proc = p.k.now.Add(d), p
 	p.k.schedule(ev)
 	p.pendingWake = ev
 	p.yield()
@@ -116,7 +118,8 @@ func (p *Proc) Sleep(d Duration) {
 // short via Interrupt; otherwise err is nil and elapsed == d.
 func (p *Proc) SleepInterruptible(d Duration) (elapsed Duration, err error) {
 	start := p.k.now
-	ev := &event{t: p.k.now.Add(d), proc: p}
+	ev := p.k.alloc()
+	ev.t, ev.proc = p.k.now.Add(d), p
 	p.k.schedule(ev)
 	p.pendingWake = ev
 	p.interruptible = true
@@ -144,7 +147,8 @@ func (p *Proc) Interrupt() bool {
 	if p.queue != nil {
 		p.queue.remove(p)
 	}
-	ev := &event{t: p.k.now, proc: p, kind: wakeInterrupted}
+	ev := p.k.alloc()
+	ev.t, ev.proc, ev.kind = p.k.now, p, wakeInterrupted
 	p.k.schedule(ev)
 	p.pendingWake = ev
 	return true

@@ -48,7 +48,8 @@ func (q *Queue) Signal() bool {
 	p := q.waiters[0]
 	copy(q.waiters, q.waiters[1:])
 	q.waiters = q.waiters[:len(q.waiters)-1]
-	ev := &event{t: q.k.now, proc: p}
+	ev := q.k.alloc()
+	ev.t, ev.proc = q.k.now, p
 	q.k.schedule(ev)
 	p.pendingWake = ev
 	return true

@@ -13,9 +13,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -62,6 +62,9 @@ const (
 // event is a single entry in the kernel's event heap. Exactly one of proc
 // or fn is set: proc events resume a blocked proc, fn events run a callback
 // inside the kernel loop (used for Signal delivery and At callbacks).
+// Events are pooled per kernel (see Kernel.alloc/release): the simulator's
+// hottest path is schedule→pop, and recycling events through a freelist
+// keeps it allocation-free in steady state.
 type event struct {
 	t        Time
 	seq      uint64
@@ -69,35 +72,61 @@ type event struct {
 	kind     wakeKind
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped
 }
 
+// eventHeap is a binary min-heap ordered by (time, seq). It deliberately
+// does not implement container/heap: the interface-based API boxes every
+// element through `any` on Push/Pop, which costs an allocation per event.
+// The concrete sift-up/sift-down below keep the hot path boxing-free.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
+
+func (h *eventHeap) push(e *event) {
 	*h = append(*h, e)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	n := len(s) - 1
+	e := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return e
 }
 
@@ -107,6 +136,7 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled events; see alloc/release
 	handoff chan struct{}
 	procs   map[*Proc]struct{}
 	running *Proc
@@ -115,12 +145,40 @@ type Kernel struct {
 	trace   func(t Time, format string, args ...any)
 }
 
+// eventPrealloc sizes the event heap and freelist at construction so
+// steady-state simulations never grow either backing array.
+const eventPrealloc = 64
+
 // NewKernel returns a kernel with the clock at zero and no pending events.
 func NewKernel() *Kernel {
 	return &Kernel{
+		events:  make(eventHeap, 0, eventPrealloc),
+		free:    make([]*event, 0, eventPrealloc),
 		handoff: make(chan struct{}),
 		procs:   make(map[*Proc]struct{}),
 	}
+}
+
+// alloc returns a zeroed event, reusing a previously released one when
+// available. Together with release it makes the schedule/pop hot path
+// allocation-free in steady state.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// release recycles a dispatched (or canceled-and-popped) event. The caller
+// must guarantee no live pointer to e remains: the kernel loop releases an
+// event only after it has been popped and its fields copied out, and procs
+// drop their pendingWake reference before the wake is delivered.
+func (k *Kernel) release(e *event) {
+	*e = event{}
+	k.free = append(k.free, e)
 }
 
 // Now returns the current virtual time.
@@ -143,7 +201,7 @@ func (k *Kernel) schedule(e *event) *event {
 	}
 	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 	return e
 }
 
@@ -153,7 +211,9 @@ func (k *Kernel) At(t Time, fn func()) {
 	if fn == nil {
 		panic("sim: At with nil fn")
 	}
-	k.schedule(&event{t: t, fn: fn})
+	e := k.alloc()
+	e.t, e.fn = t, fn
+	k.schedule(e)
 }
 
 // After schedules fn to run d after the current time.
@@ -198,13 +258,14 @@ func (k *Kernel) Run(limit Time) error {
 	defer func() { k.inRun = false }()
 
 	for len(k.events) > 0 && k.err == nil {
-		e := heap.Pop(&k.events).(*event)
+		e := k.events.pop()
 		if e.canceled {
+			k.release(e)
 			continue
 		}
 		if e.t >= limit {
 			// Put it back for a future Run call and stop.
-			heap.Push(&k.events, e)
+			k.events.push(e)
 			k.now = limit
 			return nil
 		}
@@ -212,8 +273,11 @@ func (k *Kernel) Run(limit Time) error {
 		switch {
 		case e.fn != nil:
 			e.fn()
+			k.release(e)
 		case e.proc != nil:
-			k.resume(e.proc, e.kind)
+			p, kind := e.proc, e.kind
+			k.release(e)
+			k.resume(p, kind)
 		}
 	}
 	if k.err != nil {
@@ -225,7 +289,7 @@ func (k *Kernel) Run(limit Time) error {
 		for p := range k.procs {
 			names = append(names, p.name)
 		}
-		sortStrings(names)
+		sort.Strings(names)
 		err := &DeadlockError{Time: k.now, Blocked: names}
 		k.err = err
 		k.abortAll()
@@ -264,13 +328,8 @@ func (k *Kernel) abortAll() {
 	}
 	// Drain remaining events so a subsequent Run doesn't fire callbacks of a
 	// dead simulation.
-	k.events = nil
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
+	for len(k.events) > 0 {
+		k.release(k.events.pop())
 	}
+	k.events = nil
 }
