@@ -1,0 +1,88 @@
+// Command dvsd serves the DVS scheduling simulator over HTTP: a
+// long-lived daemon fronting the parallel sweep engine, so grid cells
+// memoize across requests and clients.
+//
+// Usage:
+//
+//	dvsd                      # serve on :8377, all cores
+//	dvsd -addr :9000 -workers 8 -queue 16
+//
+// Endpoints: POST /simulate, POST /sweep (NDJSON stream), GET /healthz,
+// GET /metrics. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+//	curl -s localhost:8377/simulate -d '{
+//	  "workload": {"code": "FT", "class": "W", "ranks": 8},
+//	  "strategy": {"kind": "external", "freq_mhz": 600}
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	workers := flag.Int("workers", 0, "sweep-engine parallelism (0 = GOMAXPROCS, 1 = serial)")
+	queue := flag.Int("queue", 8, "admission queue bound: concurrent requests admitted before shedding with 429")
+	maxJobs := flag.Int("max-jobs", 4096, "maximum grid cells per sweep request")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 15*time.Minute, "clamp on client-requested deadlines")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "dvsd: invalid -workers %d: want >= 0 (0 = all cores)\n\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queue <= 0 {
+		fmt.Fprintf(os.Stderr, "dvsd: invalid -queue %d: want > 0\n\n", *queue)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		Runner:         runner.New(*workers),
+		MaxInflight:    *queue,
+		MaxJobs:        *maxJobs,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("dvsd: serving on %s (%d workers, queue %d)\n", *addr, srv.Runner().Workers(), *queue)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvsd:", err)
+			os.Exit(1)
+		}
+		return
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second signal kills hard
+
+	fmt.Println("dvsd: draining in-flight requests...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsd: shutdown:", err)
+		os.Exit(1)
+	}
+	<-errc // ListenAndServe returns nil after a clean Shutdown
+	st := srv.Runner().Stats()
+	fmt.Printf("dvsd: drained; %d simulations run, %d cache hits\n", st.Runs, st.Hits)
+}

@@ -41,6 +41,11 @@ func main() {
 		os.Exit(2)
 	}
 	o.Class = npb.Class((*classFlag)[0])
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: invalid -workers %d: want >= 0 (0 = all cores, 1 = serial)\n\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 	// One engine for the whole invocation: artifacts that revisit a grid
 	// cell (Table 2 → Figures 5-8 → Figure 11 → ablations) hit its
 	// memoized-run cache instead of re-simulating.

@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -111,12 +112,35 @@ func (r *Runner) Stats() Stats {
 
 // Run executes one job through the memo cache on the calling goroutine.
 func (r *Runner) Run(w npb.Workload, strat core.Strategy, cfg core.Config) (core.Result, error) {
-	out := r.run(Job{Workload: w, Strategy: strat, Config: cfg})
+	return r.RunContext(context.Background(), w, strat, cfg)
+}
+
+// RunContext is Run with cancellation: if ctx is done before the
+// simulation starts (or while waiting on a coalesced in-flight identical
+// job), it returns ctx.Err() without simulating. A simulation that has
+// already started always runs to completion — core.Run is a pure function
+// with no cancellation points — so cancellation is only observed at job
+// boundaries.
+func (r *Runner) RunContext(ctx context.Context, w npb.Workload, strat core.Strategy, cfg core.Config) (core.Result, error) {
+	out := r.Do(ctx, Job{Workload: w, Strategy: strat, Config: cfg})
 	return out.Result, out.Err
 }
 
-// run executes or memo-resolves a single job.
-func (r *Runner) run(j Job) Outcome {
+// Do executes one job through the memo cache on the calling goroutine,
+// reporting cache provenance in the outcome — the single-job analogue of
+// SweepContext for callers (like the dvsd service) that surface whether
+// a result was served from cache.
+func (r *Runner) Do(ctx context.Context, j Job) Outcome {
+	return r.run(ctx, j)
+}
+
+// run executes or memo-resolves a single job. Cancellation is checked
+// before starting work and while blocked on a coalesced in-flight entry;
+// cancelled jobs resolve to ctx.Err() and touch neither cache nor stats.
+func (r *Runner) run(ctx context.Context, j Job) Outcome {
+	if err := ctx.Err(); err != nil {
+		return Outcome{Err: err}
+	}
 	key, cacheable := j.Key()
 	if !cacheable {
 		r.mu.Lock()
@@ -127,10 +151,16 @@ func (r *Runner) run(j Job) Outcome {
 	}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
-		r.stats.Hits++
 		r.mu.Unlock()
-		<-e.done // completed entries have done already closed
-		return Outcome{Result: e.res, Err: e.err, Cached: true}
+		select {
+		case <-e.done: // completed entries have done already closed
+			r.mu.Lock()
+			r.stats.Hits++
+			r.mu.Unlock()
+			return Outcome{Result: e.res, Err: e.err, Cached: true}
+		case <-ctx.Done():
+			return Outcome{Err: ctx.Err()}
+		}
 	}
 	e := &entry{done: make(chan struct{})}
 	r.cache[key] = e
@@ -187,14 +217,41 @@ func (d *deque) push(jobs []int) {
 // submission order, independent of worker count and scheduling. Identical
 // jobs within a sweep simulate once and coalesce.
 func (r *Runner) Sweep(jobs []Job) []Outcome {
+	return r.SweepContext(context.Background(), jobs)
+}
+
+// SweepContext is Sweep with cancellation: once ctx is done, queued
+// not-yet-started jobs resolve to Outcome{Err: ctx.Err()} instead of
+// simulating, so an abandoned caller stops burning workers at the next
+// job boundary. Every job still gets an outcome at its submission index.
+func (r *Runner) SweepContext(ctx context.Context, jobs []Job) []Outcome {
+	return r.SweepFunc(ctx, jobs, nil)
+}
+
+// SweepFunc is SweepContext with a streaming observer: if fn is non-nil
+// it is called once per job, as that job completes, with the job's
+// submission index and outcome. Calls to fn are serialized (never
+// concurrent) but arrive in completion order, which depends on
+// scheduling; the returned slice is still in submission order.
+func (r *Runner) SweepFunc(ctx context.Context, jobs []Job, fn func(i int, o Outcome)) []Outcome {
 	out := make([]Outcome, len(jobs))
+	var emitMu sync.Mutex
+	emit := func(i int, o Outcome) {
+		if fn == nil {
+			return
+		}
+		emitMu.Lock()
+		fn(i, o)
+		emitMu.Unlock()
+	}
 	workers := r.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			out[i] = r.run(j)
+			out[i] = r.run(ctx, j)
+			emit(i, out[i])
 		}
 		return out
 	}
@@ -231,7 +288,8 @@ func (r *Runner) Sweep(jobs []Job) []Outcome {
 					}
 					continue
 				}
-				out[i] = r.run(jobs[i])
+				out[i] = r.run(ctx, jobs[i])
+				emit(i, out[i])
 			}
 		}(w)
 	}

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -231,5 +233,114 @@ func TestSweepManyMoreJobsThanWorkers(t *testing.T) {
 		if out.Result.Strategy != jobs[i].Strategy.String() {
 			t.Fatalf("job %d: outcome misaligned (%s vs %s)", i, out.Result.Strategy, jobs[i].Strategy)
 		}
+	}
+}
+
+// TestSweepContextCancelledUpfront asserts that a sweep submitted with an
+// already-cancelled context runs zero simulations: every outcome resolves
+// to ctx.Err() and neither cache nor stats are touched.
+func TestSweepContextCancelledUpfront(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	var jobs []Job
+	for _, f := range cfg.Node.Table.Frequencies() {
+		jobs = append(jobs, Job{Workload: w, Strategy: core.External(f), Config: cfg})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := New(4)
+	outs := r.SweepContext(ctx, jobs)
+	if len(outs) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(jobs))
+	}
+	for i, o := range outs {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("job %d: err=%v, want context.Canceled", i, o.Err)
+		}
+	}
+	if st := r.Stats(); st.Runs != 0 || st.Hits != 0 {
+		t.Fatalf("cancelled sweep touched the engine: runs=%d hits=%d", st.Runs, st.Hits)
+	}
+}
+
+// TestSweepFuncCancelMidSweep cancels after the first completed job on the
+// serial path and asserts the remaining queued jobs are skipped, not run.
+func TestSweepFuncCancelMidSweep(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	var jobs []Job
+	for _, f := range cfg.Node.Table.Frequencies() {
+		jobs = append(jobs, Job{Workload: w, Strategy: core.External(f), Config: cfg})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := New(1) // serial: deterministic completion order
+	outs := r.SweepFunc(ctx, jobs, func(i int, o Outcome) {
+		if i == 0 {
+			cancel()
+		}
+	})
+	if outs[0].Err != nil {
+		t.Fatalf("job 0 should have completed before cancel: %v", outs[0].Err)
+	}
+	for i := 1; i < len(outs); i++ {
+		if !errors.Is(outs[i].Err, context.Canceled) {
+			t.Fatalf("job %d: err=%v, want context.Canceled", i, outs[i].Err)
+		}
+	}
+	if st := r.Stats(); st.Runs != 1 {
+		t.Fatalf("runs=%d, want 1 (only the pre-cancel job)", st.Runs)
+	}
+}
+
+// TestSweepFuncObserverSeesEveryJobOnce asserts the streaming observer
+// contract: one serialized call per job, with the outcome that lands at
+// that job's submission index.
+func TestSweepFuncObserverSeesEveryJobOnce(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	var jobs []Job
+	for _, f := range cfg.Node.Table.Frequencies() {
+		jobs = append(jobs, Job{Workload: w, Strategy: core.External(f), Config: cfg})
+	}
+	seen := make([]int, len(jobs))
+	got := make([]Outcome, len(jobs))
+	outs := New(4).SweepFunc(context.Background(), jobs, func(i int, o Outcome) {
+		seen[i]++ // serialized by SweepFunc: no lock needed
+		got[i] = o
+	})
+	for i := range jobs {
+		if seen[i] != 1 {
+			t.Fatalf("job %d observed %d times, want 1", i, seen[i])
+		}
+		if !reflect.DeepEqual(got[i], outs[i]) {
+			t.Fatalf("job %d: observed outcome differs from returned outcome", i)
+		}
+	}
+	if err := FirstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunContextCancelledWaiterLeavesCacheIntact starts one simulation,
+// then cancels a second identical request while it would coalesce; the
+// cache entry must stay usable for later callers.
+func TestRunContextCancelledWaiterLeavesCacheIntact(t *testing.T) {
+	w := ftS(t)
+	cfg := quickCfg()
+	r := New(2)
+	if _, err := r.Run(w, core.External(600), cfg); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunContext(ctx, w, core.External(600), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if _, err := r.Run(w, core.External(600), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Runs != 1 || st.Hits != 1 {
+		t.Fatalf("runs=%d hits=%d, want 1/1 (cancelled waiter counts as neither)", st.Runs, st.Hits)
 	}
 }

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Error codes returned in the "code" field of error responses. They are
+// part of the service's wire contract: clients dispatch on the code, the
+// message is for humans.
+const (
+	CodeBadRequest       = "bad_request"        // malformed JSON / wrong shape
+	CodeInvalidWorkload  = "invalid_workload"   // workload spec failed validation
+	CodeInvalidStrategy  = "invalid_strategy"   // strategy spec failed validation
+	CodeInvalidConfig    = "invalid_config"     // config spec failed validation
+	CodeInvalidSweep     = "invalid_sweep"      // sweep shape (jobs vs grid) invalid
+	CodeTooManyJobs      = "too_many_jobs"      // sweep exceeds the per-request job bound
+	CodeQueueFull        = "queue_full"         // admission queue at capacity; retry later
+	CodeDeadlineExceeded = "deadline_exceeded"  // per-request deadline expired
+	CodeCanceled         = "canceled"           // client went away before completion
+	CodeSimFailed        = "sim_failed"         // simulation returned an error
+	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
+)
+
+// apiError is a typed, client-dispatchable request failure. It implements
+// error so spec builders can return it through ordinary error plumbing;
+// the handlers unwrap it to pick the HTTP status.
+type apiError struct {
+	status  int    // HTTP status; not serialized
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Field names the offending request field in JSON-pointer-ish dotted
+	// form (e.g. "jobs[3].strategy.freq_mhz"), when one is identifiable.
+	Field string `json:"field,omitempty"`
+	// RetryAfterMS accompanies queue_full: how long the client should
+	// back off before resubmitting.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func (e *apiError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s: %s: %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// errf builds a typed error with a formatted message.
+func errf(status int, code, field, format string, args ...any) *apiError {
+	return &apiError{status: status, Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// badField is the common 400 constructor used by the spec builders.
+func badField(code, field, format string, args ...any) *apiError {
+	return errf(http.StatusBadRequest, code, field, format, args...)
+}
+
+// inField re-roots a spec builder's error under a parent field path, so
+// sweep expansion can report "jobs[3].strategy.kind" rather than
+// "strategy.kind". Non-apiError errors are wrapped as bad_request.
+func inField(err error, parent string) *apiError {
+	if ae, ok := err.(*apiError); ok {
+		e := *ae
+		switch {
+		case parent == "":
+			// no re-rooting, just the type assertion
+		case e.Field == "":
+			e.Field = parent
+		default:
+			e.Field = parent + "." + e.Field
+		}
+		return &e
+	}
+	return badField(CodeBadRequest, parent, "%v", err)
+}
+
+// queueFull builds the 429 shed response.
+func queueFull(retryAfter time.Duration) *apiError {
+	e := errf(http.StatusTooManyRequests, CodeQueueFull, "",
+		"admission queue is full; retry after %s", retryAfter)
+	e.RetryAfterMS = retryAfter.Milliseconds()
+	return e
+}
+
+// writeError renders a typed error as the JSON error envelope, setting
+// Retry-After on 429s so well-behaved clients back off without parsing
+// the body.
+func writeError(w http.ResponseWriter, err *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	if err.status == http.StatusTooManyRequests && err.RetryAfterMS > 0 {
+		secs := (err.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(err.status)
+	_ = json.NewEncoder(w).Encode(map[string]*apiError{"error": err})
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning a
+// cache hit (~100 µs) to a class-C sweep (minutes). Cumulative counts, in
+// the Prometheus style; the implicit +Inf bucket is the total count.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [9]int64 // len(latencyBuckets)+1, last = +Inf overflow
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i]++
+	h.sum += s
+	h.n++
+}
+
+// metrics is the service's instrumentation: request counts by
+// (path, status), per-path latency histograms, and sweep-cell counters.
+// Queue depth and runner cache stats are sampled live at render time
+// from their owners rather than mirrored here.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // "path|status" → count
+	latency  map[string]*histogram
+	cells    int64 // sweep grid cells streamed
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]int64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+func (m *metrics) record(path string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", path, status)]++
+	h := m.latency[path]
+	if h == nil {
+		h = &histogram{}
+		m.latency[path] = h
+	}
+	h.observe(d)
+}
+
+func (m *metrics) addCells(n int) {
+	m.mu.Lock()
+	m.cells += int64(n)
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition format. runnerStats and
+// the gate are read at call time so the figures are current, not
+// last-request-stale.
+func (m *metrics) render(w io.Writer, g *gate, runs, hits int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP dvsd_requests_total Requests served, by path and status.")
+	fmt.Fprintln(w, "# TYPE dvsd_requests_total counter")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sep := strings.IndexByte(k, '|')
+		fmt.Fprintf(w, "dvsd_requests_total{path=%q,status=%q} %d\n", k[:sep], k[sep+1:], m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP dvsd_request_seconds Request latency, by path.")
+	fmt.Fprintln(w, "# TYPE dvsd_request_seconds histogram")
+	paths := make([]string, 0, len(m.latency))
+	for p := range m.latency {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		h := m.latency[p]
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "dvsd_request_seconds_bucket{path=%q,le=\"%g\"} %d\n", p, le, cum)
+		}
+		fmt.Fprintf(w, "dvsd_request_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, h.n)
+		fmt.Fprintf(w, "dvsd_request_seconds_sum{path=%q} %g\n", p, h.sum)
+		fmt.Fprintf(w, "dvsd_request_seconds_count{path=%q} %d\n", p, h.n)
+	}
+
+	fmt.Fprintln(w, "# HELP dvsd_sweep_cells_total Sweep grid cells streamed.")
+	fmt.Fprintln(w, "# TYPE dvsd_sweep_cells_total counter")
+	fmt.Fprintf(w, "dvsd_sweep_cells_total %d\n", m.cells)
+
+	fmt.Fprintln(w, "# HELP dvsd_queue_depth Requests currently admitted.")
+	fmt.Fprintln(w, "# TYPE dvsd_queue_depth gauge")
+	fmt.Fprintf(w, "dvsd_queue_depth %d\n", g.depth())
+	fmt.Fprintln(w, "# HELP dvsd_queue_capacity Admission queue bound.")
+	fmt.Fprintln(w, "# TYPE dvsd_queue_capacity gauge")
+	fmt.Fprintf(w, "dvsd_queue_capacity %d\n", g.capacity())
+
+	fmt.Fprintln(w, "# HELP dvsd_runner_runs_total Simulations actually executed by the shared runner.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_runs_total counter")
+	fmt.Fprintf(w, "dvsd_runner_runs_total %d\n", runs)
+	fmt.Fprintln(w, "# HELP dvsd_runner_cache_hits_total Jobs satisfied from the memo cache.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_cache_hits_total counter")
+	fmt.Fprintf(w, "dvsd_runner_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP dvsd_runner_cache_hit_rate Hits / (hits + runs) over the runner lifetime.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_cache_hit_rate gauge")
+	rate := 0.0
+	if runs+hits > 0 {
+		rate = float64(hits) / float64(runs+hits)
+	}
+	fmt.Fprintf(w, "dvsd_runner_cache_hit_rate %g\n", rate)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// resultJSON is the wire form of one simulation's measurements: the
+// summary figures the paper's tables are built from, not the full
+// per-node traces (those stay library-side — a service response should
+// be O(ranks)-free).
+type resultJSON struct {
+	Name              string  `json:"name"`
+	Strategy          string  `json:"strategy"`
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	EnergyJ           float64 `json:"energy_j"`
+	AvgPowerW         float64 `json:"avg_power_w"`
+	EnergyPerNodeJ    float64 `json:"energy_per_node_j"`
+	Transitions       int     `json:"transitions"`
+	DaemonMoves       int     `json:"daemon_moves,omitempty"`
+	AvgTempC          float64 `json:"avg_temp_c"`
+	MinLifetimeFactor float64 `json:"min_lifetime_factor"`
+	NetMessages       int     `json:"net_messages"`
+	NetBytes          int64   `json:"net_bytes"`
+}
+
+func toResultJSON(r core.Result) resultJSON {
+	return resultJSON{
+		Name:              r.Name,
+		Strategy:          r.Strategy,
+		ElapsedSec:        r.Elapsed.Seconds(),
+		EnergyJ:           r.Energy,
+		AvgPowerW:         r.AvgPower(),
+		EnergyPerNodeJ:    r.EnergyPerNode(),
+		Transitions:       r.Transitions,
+		DaemonMoves:       r.DaemonMoves,
+		AvgTempC:          r.AvgTemperature(),
+		MinLifetimeFactor: r.MinLifetimeFactor(),
+		NetMessages:       r.Net.Messages,
+		NetBytes:          r.Net.Bytes,
+	}
+}
+
+// simulateResponse is the POST /simulate success body.
+type simulateResponse struct {
+	Cached bool       `json:"cached"`
+	Result resultJSON `json:"result"`
+}
+
+// sweepRecord is one NDJSON line of a POST /sweep stream: either a
+// completed cell (result set) or a failed one (error set), identified by
+// its submission index. Records arrive in completion order.
+type sweepRecord struct {
+	Index  int         `json:"index"`
+	Cached bool        `json:"cached,omitempty"`
+	Result *resultJSON `json:"result,omitempty"`
+	Error  *apiError   `json:"error,omitempty"`
+}
+
+// sweepTrailer is the final NDJSON line, confirming the stream is
+// complete (a client that doesn't see it knows the stream was truncated).
+type sweepTrailer struct {
+	Done bool `json:"done"`
+	Jobs int  `json:"jobs"`
+	// CachedCells/Errors count this sweep's cache-served and failed
+	// cells. ("cached_cells", not "cached": cell records use "cached"
+	// as a bool, and the names must not collide for clients that decode
+	// every line into one union shape.)
+	CachedCells int `json:"cached_cells"`
+	Errors      int `json:"errors"`
+}
+
+// outcomeError maps a job outcome's failure to a typed error. Context
+// errors become deadline_exceeded/canceled; anything else is a
+// simulation failure.
+func outcomeError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errf(http.StatusGatewayTimeout, CodeDeadlineExceeded, "",
+			"request deadline expired before the simulation ran")
+	case errors.Is(err, context.Canceled):
+		return errf(statusClientClosed, CodeCanceled, "", "request canceled")
+	default:
+		return errf(http.StatusInternalServerError, CodeSimFailed, "", "%v", err)
+	}
+}
+
+// statusClientClosed is nginx's 499: the client went away. Nothing
+// standard fits; the status is visible only in metrics since the client
+// is no longer reading.
+const statusClientClosed = 499
+
+// record builds the NDJSON line for one outcome.
+func record(i int, o runner.Outcome) sweepRecord {
+	if o.Err != nil {
+		return sweepRecord{Index: i, Error: outcomeError(o.Err)}
+	}
+	r := toResultJSON(o.Result)
+	return sweepRecord{Index: i, Cached: o.Cached, Result: &r}
+}

@@ -1,0 +1,306 @@
+// Package server is dvsd's HTTP layer: simulation-as-a-service over the
+// sweep engine. One long-lived runner.Runner backs every request, so the
+// content-addressed memo cache warms across clients — the service
+// behaves like an inference endpoint fronting a batch engine: repeated
+// grid cells are answered from cache, fresh cells pay one simulation.
+//
+// Endpoints:
+//
+//	POST /simulate  one (workload, strategy, config) job → JSON result
+//	POST /sweep     a job list or workloads×strategies grid → NDJSON,
+//	                one record per cell as it completes, then a trailer
+//	GET  /healthz   liveness + queue snapshot
+//	GET  /metrics   Prometheus text format
+//
+// Production shape: strict typed validation (errors.go), a bounded
+// admission gate that sheds with 429 + Retry-After (queue.go),
+// per-request deadlines propagated into the runner as context
+// cancellation, and graceful shutdown that drains in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Options configures the service.
+type Options struct {
+	// Runner executes the simulations; nil builds one with default
+	// parallelism. Sharing a Runner across servers shares its cache.
+	Runner *runner.Runner
+	// MaxInflight bounds concurrently admitted requests; beyond it the
+	// server sheds with 429. Default 8.
+	MaxInflight int
+	// MaxJobs bounds the cells of a single sweep request. Default 4096.
+	MaxJobs int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Default 2 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts. Default 15 minutes.
+	MaxTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses.
+	// Default 1 second.
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runner == nil {
+		o.Runner = runner.New(0)
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 8
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 15 * time.Minute
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Server is the dvsd HTTP service.
+type Server struct {
+	opts   Options
+	runner *runner.Runner
+	gate   *gate
+	met    *metrics
+	mux    *http.ServeMux
+
+	mu sync.Mutex
+	hs *http.Server
+}
+
+// New builds a service from opts (zero value is usable).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		runner: opts.Runner,
+		gate:   newGate(opts.MaxInflight),
+		met:    newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/simulate", s.instrument("/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/sweep", s.instrument("/sweep", s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Runner returns the shared engine (its Stats feed /metrics).
+func (s *Server) Runner() *runner.Runner { return s.runner }
+
+// Handler returns the routed handler, for embedding and httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown; a clean shutdown
+// returns nil.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown; a clean shutdown
+// returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.hs = hs
+	s.mu.Unlock()
+	err := hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting connections and drains in-flight requests
+// (including streaming sweeps) until they finish or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// statusWriter captures the response status for metrics and forwards
+// Flush so NDJSON streaming survives the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request counting and latency
+// observation.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.met.record(path, sw.status, time.Since(start))
+	}
+}
+
+// decode strictly parses a JSON body into v; unknown fields are typed
+// errors, not silently dropped — a misspelled knob must not run a
+// default-configured simulation.
+func decode(r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badField(CodeBadRequest, "", "invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// timeoutFor resolves a request's timeout_ms against server bounds.
+func (s *Server) timeoutFor(ms float64) time.Duration {
+	if ms <= 0 {
+		return s.opts.DefaultTimeout
+	}
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d > s.opts.MaxTimeout {
+		return s.opts.MaxTimeout
+	}
+	return d
+}
+
+func methodNotAllowed(w http.ResponseWriter, method string) {
+	writeError(w, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "",
+		"use %s", method))
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req SimulateRequest
+	if ae := decode(r, &req); ae != nil {
+		writeError(w, ae)
+		return
+	}
+	job, err := req.JobSpec.build()
+	if err != nil {
+		writeError(w, inField(err, ""))
+		return
+	}
+	if !s.gate.tryAcquire() {
+		writeError(w, queueFull(s.opts.RetryAfter))
+		return
+	}
+	defer s.gate.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	out := s.runner.Do(ctx, job)
+	if out.Err != nil {
+		writeError(w, outcomeError(out.Err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(simulateResponse{Cached: out.Cached, Result: toResultJSON(out.Result)})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req SweepRequest
+	if ae := decode(r, &req); ae != nil {
+		writeError(w, ae)
+		return
+	}
+	jobs, err := req.expand(s.opts.MaxJobs)
+	if err != nil {
+		writeError(w, inField(err, ""))
+		return
+	}
+	if !s.gate.tryAcquire() {
+		writeError(w, queueFull(s.opts.RetryAfter))
+		return
+	}
+	defer s.gate.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	// Stream: one record per cell in completion order, then a trailer.
+	// The header commits status 200 before results exist; per-cell
+	// failures travel in-band as error records.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var cached, failed int
+	s.runner.SweepFunc(ctx, jobs, func(i int, o runner.Outcome) {
+		rec := record(i, o) // SweepFunc serializes observer calls
+		if rec.Error != nil {
+			failed++
+		} else if rec.Cached {
+			cached++
+		}
+		_ = enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	_ = enc.Encode(sweepTrailer{Done: true, Jobs: len(jobs), CachedCells: cached, Errors: failed})
+	s.met.addCells(len(jobs))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"queue_depth\":%d,\"queue_capacity\":%d,\"workers\":%d}\n",
+		s.gate.depth(), s.gate.capacity(), s.runner.Workers())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	st := s.runner.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.gate, st.Runs, st.Hits)
+}

@@ -1,0 +1,423 @@
+// Request specs: the JSON wire forms of (workload, strategy, config) and
+// their compilation into runner.Jobs. Validation is strict and typed —
+// every rejection names a code and the offending field — because the
+// service is the trust boundary: past this file, inputs are assumed good.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/npb"
+	"repro/internal/runner"
+	"repro/internal/sched"
+)
+
+// WorkloadSpec names a benchmark instance.
+type WorkloadSpec struct {
+	// Code is the benchmark name (FT, CG, ... — see npb.Codes).
+	Code string `json:"code"`
+	// Class is the NPB problem class letter (S, W, A, B, C); default C,
+	// the paper's size.
+	Class string `json:"class,omitempty"`
+	// Ranks is the MPI world size; default is the paper's rank count for
+	// the code (npb.PaperRanks).
+	Ranks int `json:"ranks,omitempty"`
+	// Variant selects an instrumented build: "" for plain, "internal"
+	// for the §5.3 source-instrumented FT/CG variants.
+	Variant string `json:"variant,omitempty"`
+	// HighMHz/LowMHz are the internal variant's two speeds (default
+	// 1400/600, the paper's Figure 10 settings).
+	HighMHz float64 `json:"high_mhz,omitempty"`
+	LowMHz  float64 `json:"low_mhz,omitempty"`
+}
+
+func (s WorkloadSpec) build() (npb.Workload, error) {
+	if s.Code == "" {
+		return npb.Workload{}, badField(CodeInvalidWorkload, "workload.code",
+			"required; one of %s", strings.Join(npb.Codes(), ", "))
+	}
+	class := npb.ClassC
+	if s.Class != "" {
+		if len(s.Class) != 1 || !npb.Class(s.Class[0]).Valid() {
+			return npb.Workload{}, badField(CodeInvalidWorkload, "workload.class",
+				"%q is not a class; want a single letter among S, W, A, B, C", s.Class)
+		}
+		class = npb.Class(s.Class[0])
+	}
+	ranks := s.Ranks
+	if ranks == 0 {
+		ranks = npb.PaperRanks(s.Code)
+	}
+	if ranks < 0 {
+		return npb.Workload{}, badField(CodeInvalidWorkload, "workload.ranks",
+			"must be positive, got %d", ranks)
+	}
+	high, low := dvs.MHz(s.HighMHz), dvs.MHz(s.LowMHz)
+	if high == 0 {
+		high = 1400
+	}
+	if low == 0 {
+		low = 600
+	}
+	var (
+		w   npb.Workload
+		err error
+	)
+	switch s.Variant {
+	case "":
+		w, err = npb.New(s.Code, class, ranks)
+	case "internal":
+		switch s.Code {
+		case "FT":
+			w, err = npb.FTInternal(class, ranks, high, low)
+		case "CG":
+			w, err = npb.CGInternal(class, ranks, high, low)
+		default:
+			return npb.Workload{}, badField(CodeInvalidWorkload, "workload.variant",
+				"internal instrumentation exists only for FT and CG, not %s", s.Code)
+		}
+	default:
+		return npb.Workload{}, badField(CodeInvalidWorkload, "workload.variant",
+			"unknown variant %q; want \"\" or \"internal\"", s.Variant)
+	}
+	if err != nil {
+		return npb.Workload{}, badField(CodeInvalidWorkload, "workload", "%v", err)
+	}
+	return w, nil
+}
+
+// StrategySpec selects and parameterizes a DVS scheduling strategy.
+type StrategySpec struct {
+	// Kind is one of: nodvs, external, external-per-node, daemon,
+	// predictive, ondemand, powercap.
+	Kind string `json:"kind"`
+	// FreqMHz is the static frequency for kind=external.
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
+	// PerNode maps node ID (JSON object key, decimal string) to MHz for
+	// kind=external-per-node.
+	PerNode map[string]float64 `json:"per_node,omitempty"`
+	// Preset selects the daemon tuning for kind=daemon: "v1.1" or
+	// "v1.2.1" (default).
+	Preset string `json:"preset,omitempty"`
+	// IntervalMS overrides the control period for daemon/ondemand/powercap.
+	IntervalMS float64 `json:"interval_ms,omitempty"`
+	// TargetLoad overrides the predictive daemon's headroom target.
+	TargetLoad float64 `json:"target_load,omitempty"`
+	// BudgetWatts is the cluster power cap for kind=powercap.
+	BudgetWatts float64 `json:"budget_watts,omitempty"`
+	// Headroom overrides powercap hysteresis.
+	Headroom float64 `json:"headroom,omitempty"`
+}
+
+// interval converts the millisecond override, falling back to def.
+func (s StrategySpec) interval(def time.Duration) (time.Duration, error) {
+	if s.IntervalMS == 0 {
+		return def, nil
+	}
+	if s.IntervalMS < 0 {
+		return 0, badField(CodeInvalidStrategy, "strategy.interval_ms",
+			"must be positive, got %g", s.IntervalMS)
+	}
+	return time.Duration(s.IntervalMS * float64(time.Millisecond)), nil
+}
+
+func (s StrategySpec) build(table dvs.Table) (core.Strategy, error) {
+	checkFreq := func(field string, f dvs.MHz) error {
+		if table.IndexOf(f) < 0 {
+			fs := make([]string, len(table))
+			for i, mhz := range table.Frequencies() {
+				fs[i] = fmt.Sprintf("%.0f", float64(mhz))
+			}
+			return badField(CodeInvalidStrategy, field,
+				"%.0f MHz is not an operating point; have %s", float64(f), strings.Join(fs, ", "))
+		}
+		return nil
+	}
+	switch s.Kind {
+	case "nodvs", "":
+		if s.Kind == "" {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.kind",
+				"required; one of nodvs, external, external-per-node, daemon, predictive, ondemand, powercap")
+		}
+		return core.NoDVS(), nil
+	case "external":
+		if s.FreqMHz == 0 {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.freq_mhz",
+				"required for kind=external")
+		}
+		if err := checkFreq("strategy.freq_mhz", dvs.MHz(s.FreqMHz)); err != nil {
+			return core.Strategy{}, err
+		}
+		return core.External(dvs.MHz(s.FreqMHz)), nil
+	case "external-per-node":
+		if len(s.PerNode) == 0 {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.per_node",
+				"required for kind=external-per-node")
+		}
+		freqs := make(map[int]dvs.MHz, len(s.PerNode))
+		// Iterate keys sorted so the first error is deterministic.
+		keys := make([]string, 0, len(s.PerNode))
+		for k := range s.PerNode {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			id, err := strconv.Atoi(k)
+			if err != nil || id < 0 {
+				return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.per_node",
+					"key %q is not a node ID", k)
+			}
+			f := dvs.MHz(s.PerNode[k])
+			if err := checkFreq(fmt.Sprintf("strategy.per_node[%s]", k), f); err != nil {
+				return core.Strategy{}, err
+			}
+			freqs[id] = f
+		}
+		return core.ExternalPerNode(freqs), nil
+	case "daemon":
+		var cfg sched.CPUSpeedConfig
+		switch s.Preset {
+		case "", "v1.2.1":
+			cfg = sched.CPUSpeedV121()
+		case "v1.1":
+			cfg = sched.CPUSpeedV11()
+		default:
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.preset",
+				"unknown daemon preset %q; want v1.1 or v1.2.1", s.Preset)
+		}
+		iv, err := s.interval(cfg.Interval)
+		if err != nil {
+			return core.Strategy{}, err
+		}
+		cfg.Interval = iv
+		if err := cfg.Validate(); err != nil {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
+		}
+		return core.Daemon(cfg), nil
+	case "predictive":
+		cfg := sched.DefaultPredictive()
+		if s.TargetLoad != 0 {
+			cfg.TargetLoad = s.TargetLoad
+		}
+		iv, err := s.interval(cfg.Window)
+		if err != nil {
+			return core.Strategy{}, err
+		}
+		cfg.Window = iv
+		if err := cfg.Validate(); err != nil {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
+		}
+		return core.Predictive(cfg), nil
+	case "ondemand":
+		cfg := sched.DefaultOnDemand()
+		iv, err := s.interval(cfg.SamplingRate)
+		if err != nil {
+			return core.Strategy{}, err
+		}
+		cfg.SamplingRate = iv
+		if err := cfg.Validate(); err != nil {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
+		}
+		return core.OnDemand(cfg), nil
+	case "powercap":
+		if s.BudgetWatts <= 0 {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.budget_watts",
+				"required and positive for kind=powercap, got %g", s.BudgetWatts)
+		}
+		cfg := sched.DefaultPowerCap(s.BudgetWatts)
+		if s.Headroom != 0 {
+			cfg.Headroom = s.Headroom
+		}
+		iv, err := s.interval(cfg.Interval)
+		if err != nil {
+			return core.Strategy{}, err
+		}
+		cfg.Interval = iv
+		if err := cfg.Validate(); err != nil {
+			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
+		}
+		return core.PowerCap(cfg), nil
+	}
+	return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.kind",
+		"unknown kind %q; one of nodvs, external, external-per-node, daemon, predictive, ondemand, powercap", s.Kind)
+}
+
+// ConfigSpec optionally overrides the calibrated NEMO cluster model.
+// Absent fields keep core.DefaultConfig values; pointers distinguish
+// "unset" from zero.
+type ConfigSpec struct {
+	// SpinWait makes blocked MPI calls busy-poll (MPICH without
+	// blocking-socket support) — utilization daemons go blind.
+	SpinWait *bool `json:"spin_wait,omitempty"`
+	// WaitBusyFrac is the fraction of MPI-wait time visible as busy in
+	// /proc accounting, in [0,1].
+	WaitBusyFrac *float64 `json:"wait_busy_frac,omitempty"`
+	// NetLatencyUS is the per-message interconnect latency in µs.
+	NetLatencyUS *float64 `json:"net_latency_us,omitempty"`
+	// NetBandwidthBps is the per-port bandwidth in bits/s.
+	NetBandwidthBps *float64 `json:"net_bandwidth_bps,omitempty"`
+	// NetLossRate is the per-message loss probability in [0,1).
+	NetLossRate *float64 `json:"net_loss_rate,omitempty"`
+	// NetSeed seeds the loss process (same seed → identical run).
+	NetSeed *int64 `json:"net_seed,omitempty"`
+	// TransitionLatencyUS is the DVS operating-point switch cost in µs.
+	TransitionLatencyUS *float64 `json:"transition_latency_us,omitempty"`
+}
+
+func (s *ConfigSpec) build() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	if s == nil {
+		return cfg, nil
+	}
+	if s.SpinWait != nil {
+		cfg.MPI.SpinWait = *s.SpinWait
+	}
+	if s.WaitBusyFrac != nil {
+		if *s.WaitBusyFrac < 0 || *s.WaitBusyFrac > 1 {
+			return core.Config{}, badField(CodeInvalidConfig, "config.wait_busy_frac",
+				"must be in [0,1], got %g", *s.WaitBusyFrac)
+		}
+		cfg.Node.WaitBusyFrac = *s.WaitBusyFrac
+	}
+	if s.NetLatencyUS != nil {
+		if *s.NetLatencyUS < 0 {
+			return core.Config{}, badField(CodeInvalidConfig, "config.net_latency_us",
+				"must be non-negative, got %g", *s.NetLatencyUS)
+		}
+		cfg.Net.Latency = time.Duration(*s.NetLatencyUS * float64(time.Microsecond))
+	}
+	if s.NetBandwidthBps != nil {
+		if *s.NetBandwidthBps <= 0 {
+			return core.Config{}, badField(CodeInvalidConfig, "config.net_bandwidth_bps",
+				"must be positive, got %g", *s.NetBandwidthBps)
+		}
+		cfg.Net.BandwidthBps = *s.NetBandwidthBps
+	}
+	if s.NetLossRate != nil {
+		if *s.NetLossRate < 0 || *s.NetLossRate >= 1 {
+			return core.Config{}, badField(CodeInvalidConfig, "config.net_loss_rate",
+				"must be in [0,1), got %g", *s.NetLossRate)
+		}
+		cfg.Net.LossRate = *s.NetLossRate
+	}
+	if s.NetSeed != nil {
+		cfg.Net.Seed = *s.NetSeed
+	}
+	if s.TransitionLatencyUS != nil {
+		if *s.TransitionLatencyUS < 0 {
+			return core.Config{}, badField(CodeInvalidConfig, "config.transition_latency_us",
+				"must be non-negative, got %g", *s.TransitionLatencyUS)
+		}
+		cfg.Node.Transition.Latency = time.Duration(*s.TransitionLatencyUS * float64(time.Microsecond))
+	}
+	return cfg, nil
+}
+
+// JobSpec is one grid cell: workload × strategy × optional config.
+type JobSpec struct {
+	Workload WorkloadSpec `json:"workload"`
+	Strategy StrategySpec `json:"strategy"`
+	Config   *ConfigSpec  `json:"config,omitempty"`
+}
+
+func (s JobSpec) build() (runner.Job, error) {
+	cfg, err := s.Config.build()
+	if err != nil {
+		return runner.Job{}, err
+	}
+	w, err := s.Workload.build()
+	if err != nil {
+		return runner.Job{}, err
+	}
+	strat, err := s.Strategy.build(cfg.Node.Table)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	return runner.Job{Workload: w, Strategy: strat, Config: cfg}, nil
+}
+
+// SimulateRequest is the POST /simulate body: one job plus a deadline.
+type SimulateRequest struct {
+	JobSpec
+	// TimeoutMS bounds the request's wall-clock time; 0 uses the server
+	// default, values above the server maximum are clamped.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the POST /sweep body: either an explicit job list, or
+// a workloads × strategies grid sharing one optional config.
+type SweepRequest struct {
+	Jobs       []JobSpec      `json:"jobs,omitempty"`
+	Workloads  []WorkloadSpec `json:"workloads,omitempty"`
+	Strategies []StrategySpec `json:"strategies,omitempty"`
+	Config     *ConfigSpec    `json:"config,omitempty"`
+	TimeoutMS  float64        `json:"timeout_ms,omitempty"`
+}
+
+// expand compiles the request into a flat job list, enforcing the
+// per-request job bound. Grid form expands workload-major: the cell for
+// (workloads[i], strategies[j]) lands at index i*len(strategies)+j.
+func (s SweepRequest) expand(maxJobs int) ([]runner.Job, error) {
+	explicit := len(s.Jobs) > 0
+	grid := len(s.Workloads) > 0 || len(s.Strategies) > 0
+	switch {
+	case explicit && grid:
+		return nil, badField(CodeInvalidSweep, "jobs",
+			"give either jobs or workloads×strategies, not both")
+	case explicit:
+		if s.Config != nil {
+			return nil, badField(CodeInvalidSweep, "config",
+				"top-level config applies only to the grid form; set it per job")
+		}
+		if len(s.Jobs) > maxJobs {
+			return nil, errf(statusTooLarge, CodeTooManyJobs, "jobs",
+				"%d jobs exceeds the per-request bound of %d", len(s.Jobs), maxJobs)
+		}
+		jobs := make([]runner.Job, len(s.Jobs))
+		for i, js := range s.Jobs {
+			j, err := js.build()
+			if err != nil {
+				return nil, inField(err, fmt.Sprintf("jobs[%d]", i))
+			}
+			jobs[i] = j
+		}
+		return jobs, nil
+	case len(s.Workloads) > 0 && len(s.Strategies) > 0:
+		n := len(s.Workloads) * len(s.Strategies)
+		if n > maxJobs {
+			return nil, errf(statusTooLarge, CodeTooManyJobs, "workloads",
+				"%d×%d grid = %d jobs exceeds the per-request bound of %d",
+				len(s.Workloads), len(s.Strategies), n, maxJobs)
+		}
+		cfg, err := s.Config.build()
+		if err != nil {
+			return nil, err
+		}
+		jobs := make([]runner.Job, 0, n)
+		for i, ws := range s.Workloads {
+			w, err := ws.build()
+			if err != nil {
+				return nil, inField(err, fmt.Sprintf("workloads[%d]", i))
+			}
+			for j, ss := range s.Strategies {
+				strat, err := ss.build(cfg.Node.Table)
+				if err != nil {
+					return nil, inField(err, fmt.Sprintf("strategies[%d]", j))
+				}
+				jobs = append(jobs, runner.Job{Workload: w, Strategy: strat, Config: cfg})
+			}
+		}
+		return jobs, nil
+	}
+	return nil, badField(CodeInvalidSweep, "jobs",
+		"empty sweep: give jobs, or workloads and strategies")
+}
+
+// statusTooLarge is the HTTP status for an over-bound sweep.
+const statusTooLarge = 413 // http.StatusRequestEntityTooLarge
