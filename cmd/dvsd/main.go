@@ -6,9 +6,12 @@
 //
 //	dvsd                      # serve on :8377, all cores
 //	dvsd -addr :9000 -workers 8 -queue 16
+//	dvsd -cache-dir /var/lib/dvsd   # persist the memo cache across restarts
 //
 // Endpoints: POST /simulate, POST /sweep (NDJSON stream), GET /healthz,
-// GET /metrics. SIGINT/SIGTERM drain in-flight requests before exit.
+// GET /metrics. SIGINT/SIGTERM drain in-flight requests before exit; with
+// -cache-dir the drained process snapshots its memo cache and the next
+// start reloads it, so repeated jobs stay cache hits across restarts.
 //
 //	curl -s localhost:8377/simulate -d '{
 //	  "workload": {"code": "FT", "class": "W", "ranks": 8},
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -37,6 +41,9 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 15*time.Minute, "clamp on client-requested deadlines")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	cacheEntries := flag.Int("cache-entries", runner.DefaultMaxEntries, "memo-cache bound in entries (LRU eviction beyond it; < 0 = unbounded)")
+	errorTTL := flag.Duration("error-cache-ttl", 0, "how long failed cells are negative-cached (0 = failures are never memoized)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent memo-cache snapshot, loaded at startup and written on graceful drain (empty = in-memory only)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "dvsd: invalid -workers %d: want >= 0 (0 = all cores)\n\n", *workers)
@@ -48,9 +55,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *errorTTL < 0 {
+		fmt.Fprintf(os.Stderr, "dvsd: invalid -error-cache-ttl %v: want >= 0\n\n", *errorTTL)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	eng := runner.NewWithOptions(runner.Options{
+		Workers:    *workers,
+		MaxEntries: *cacheEntries,
+		ErrorTTL:   *errorTTL,
+	})
+	var snapshot string
+	if *cacheDir != "" {
+		snapshot = filepath.Join(*cacheDir, "cache.ndjson")
+		n, err := eng.LoadCache(snapshot)
+		if err != nil {
+			// A bad snapshot degrades to a cold cache; refusing to start
+			// would turn a disk problem into an outage.
+			fmt.Fprintln(os.Stderr, "dvsd: cache load:", err)
+		}
+		if n > 0 {
+			fmt.Printf("dvsd: loaded %d cached cells from %s\n", n, snapshot)
+		}
+	}
 
 	srv := server.New(server.Options{
-		Runner:         runner.New(*workers),
+		Runner:         eng,
 		MaxInflight:    *queue,
 		MaxJobs:        *maxJobs,
 		DefaultTimeout: *timeout,
@@ -83,6 +114,14 @@ func main() {
 		os.Exit(1)
 	}
 	<-errc // ListenAndServe returns nil after a clean Shutdown
+	if snapshot != "" {
+		if n, err := eng.SaveCache(snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsd: cache save:", err)
+		} else {
+			fmt.Printf("dvsd: snapshotted %d cached cells to %s\n", n, snapshot)
+		}
+	}
 	st := srv.Runner().Stats()
-	fmt.Printf("dvsd: drained; %d simulations run, %d cache hits\n", st.Runs, st.Hits)
+	fmt.Printf("dvsd: drained; %d simulations run, %d cache hits, %d panics contained\n",
+		st.Runs, st.Hits, st.Panics)
 }

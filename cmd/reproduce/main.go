@@ -32,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep-engine parallelism: simulations run concurrently across this many workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
 	mdPath := flag.String("md", "", "also write all tables to this markdown file")
+	cacheDir := flag.String("cache-dir", "", "directory for a persistent memo-cache snapshot: loaded before the run, written after, so repeated invocations skip already-simulated cells")
 	flag.Parse()
 
 	o := experiments.Default()
@@ -50,6 +51,17 @@ func main() {
 	// cell (Table 2 → Figures 5-8 → Figure 11 → ablations) hit its
 	// memoized-run cache instead of re-simulating.
 	o.Runner = runner.New(*workers)
+	var snapshot string
+	if *cacheDir != "" {
+		snapshot = filepath.Join(*cacheDir, "cache.ndjson")
+		n, err := o.Runner.LoadCache(snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: cache load:", err)
+		}
+		if n > 0 {
+			fmt.Printf("(loaded %d cached cells from %s)\n", n, snapshot)
+		}
+	}
 
 	want := map[string]bool{}
 	everything := false
@@ -271,6 +283,13 @@ func main() {
 			}
 		}
 		fmt.Printf("wrote %d CSV files to %s\n", len(csv), *csvDir)
+	}
+	if snapshot != "" {
+		if n, err := o.Runner.SaveCache(snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce: cache save:", err)
+		} else {
+			fmt.Printf("(snapshotted %d cached cells to %s)\n", n, snapshot)
+		}
 	}
 	st := o.Runner.Stats()
 	fmt.Printf("(sweep engine: %d simulations run, %d cache hits, %d workers)\n",

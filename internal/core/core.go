@@ -279,6 +279,12 @@ func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
 		res.Thermal = append(res.Thermal, n.Thermal())
 	}
 	for _, d := range daemons {
+		// A daemon that failed to change operating points retires itself
+		// with a recorded error instead of panicking; its run measured a
+		// half-applied strategy and must not be reported as a result.
+		if err := d.Err(); err != nil {
+			return Result{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
+		}
 		res.DaemonMoves += d.Moves
 	}
 	return res, nil

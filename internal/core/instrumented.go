@@ -43,6 +43,7 @@ func RunInstrumented(w npb.Workload, strat Strategy, cfg Config, samplePeriod, w
 		c.World().SetTracer(cfg.Tracer)
 	}
 
+	var daemons []*sched.Daemon
 	switch strat.Kind {
 	case KindNoDVS:
 	case KindExternal:
@@ -54,10 +55,11 @@ func RunInstrumented(w npb.Workload, strat Strategy, cfg Config, samplePeriod, w
 			return InstrumentedResult{}, err
 		}
 	case KindDaemon:
-		_, stop, err := sched.StartCluster(k, c.Nodes(), strat.Daemon)
+		ds, stop, err := sched.StartCluster(k, c.Nodes(), strat.Daemon)
 		if err != nil {
 			return InstrumentedResult{}, err
 		}
+		daemons = ds
 		c.World().OnAllDone(stop)
 	case KindPredictive:
 		_, stop, err := sched.StartPredictiveCluster(k, c.Nodes(), strat.Predictive)
@@ -86,6 +88,11 @@ func RunInstrumented(w npb.Workload, strat Strategy, cfg Config, samplePeriod, w
 	}
 	if !c.World().Done() {
 		return InstrumentedResult{}, fmt.Errorf("core: %s did not complete", w.Name())
+	}
+	for _, d := range daemons {
+		if err := d.Err(); err != nil {
+			return InstrumentedResult{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
+		}
 	}
 	meas, err := c.Measurement()
 	if err != nil {

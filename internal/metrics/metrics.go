@@ -102,29 +102,35 @@ func Rank(m Metric, cands []Candidate) []Candidate {
 // ascending frequency, with the top frequency last at (1, 1).
 type Crescendo []Candidate
 
-// slopes returns the average per-unit-of-frequency-reduction rates of
-// delay increase and energy reduction between the slowest and fastest
-// points, normalized by the frequency span.
-func (c Crescendo) slopes() (delayRate, energyRate float64) {
+// deltas returns the crescendo's end-to-end changes between its fastest
+// and slowest operating points: how much normalized delay rises and how
+// much normalized energy falls across the whole frequency range. These
+// are raw differences on the normalized axes — deliberately NOT divided
+// by the frequency span — because the §5.2 taxonomy compares the two
+// deltas against each other and against a fixed near-zero threshold, and
+// every NPB crescendo spans the same 600–1400 MHz range.
+func (c Crescendo) deltas() (delayRise, energyDrop float64) {
 	if len(c) < 2 {
 		return 0, 0
 	}
 	lo, hi := c[0], c[len(c)-1]
-	delayRate = lo.Delay - hi.Delay
-	energyRate = hi.Energy - lo.Energy
-	return delayRate, energyRate
+	delayRise = lo.Delay - hi.Delay
+	energyDrop = hi.Energy - lo.Energy
+	return delayRise, energyDrop
 }
 
-// Classify implements the §5.2 taxonomy from the end-to-end rates of the
-// crescendo:
+// Classify implements the §5.2 taxonomy from the crescendo's end-to-end
+// deltas:
 //
 //	Type I:   energy benefit ≈ 0, delay grows (EP);
 //	Type II:  energy falls and delay grows at about the same rate (BT, MG, LU);
 //	Type III: energy falls clearly faster than delay grows (FT, CG, SP);
 //	Type IV:  delay ≈ flat, energy falls (IS).
 func (c Crescendo) Classify() paper.CrescendoType {
-	d, e := c.slopes()
-	const flat = 0.08 // below this end-to-end change counts as "near zero"
+	d, e := c.deltas()
+	// flat is the near-zero threshold on an end-to-end delta (an 8-point
+	// change on the normalized axis across the full frequency range).
+	const flat = 0.08
 	switch {
 	case e <= flat && d > flat:
 		return paper.TypeI

@@ -247,3 +247,51 @@ func TestPropertyExponentMonotoneDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeltasAreEndToEnd pins the semantics the doc comment promises:
+// deltas are the raw end-to-end changes of the normalized series between
+// the fastest and slowest points — intermediate points ignored, and no
+// division by the frequency span.
+func TestDeltasAreEndToEnd(t *testing.T) {
+	c := Crescendo{
+		{"600", 1.20, 0.70},
+		{"1000", 1.05, 0.90}, // must not influence the deltas
+		{"1400", 1.00, 1.00},
+	}
+	d, e := c.deltas()
+	if math.Abs(d-0.20) > 1e-12 || math.Abs(e-0.30) > 1e-12 {
+		t.Fatalf("deltas = (%g, %g), want end-to-end (0.20, 0.30) with no span normalization", d, e)
+	}
+}
+
+// TestFigure8Pinned hard-codes the §5.2/Figure 8 class of every NPB code,
+// independent of the paper.Types table, so a classifier or threshold
+// change that reshuffles Figure 8 fails loudly here.
+func TestFigure8Pinned(t *testing.T) {
+	want := map[string]paper.CrescendoType{
+		"EP": paper.TypeI,
+		"BT": paper.TypeII, "MG": paper.TypeII, "LU": paper.TypeII,
+		"FT": paper.TypeIII, "CG": paper.TypeIII, "SP": paper.TypeIII,
+		"IS": paper.TypeIV,
+	}
+	seen := 0
+	for _, p := range paper.Table2 {
+		code := p.Code[:2]
+		w, ok := want[code]
+		if !ok {
+			t.Fatalf("Table 2 code %s missing from the Figure 8 pin", p.Code)
+		}
+		var c Crescendo
+		for _, f := range []int{600, 800, 1000, 1200, 1400} {
+			cell := p.ByFreq[f]
+			c = append(c, Candidate{Label: labelOf(f), Delay: cell.Delay, Energy: cell.Energy})
+		}
+		if got := c.Classify(); got != w {
+			t.Errorf("%s classified Type %v, want Type %v", p.Code, got, w)
+		}
+		seen++
+	}
+	if seen != len(want) {
+		t.Fatalf("pinned %d codes, Table 2 has %d", len(want), seen)
+	}
+}

@@ -1,0 +1,173 @@
+package runner
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultMaxEntries is the memo-cache bound when Options.MaxEntries is
+// zero. At the observed few-KB-per-result payload this caps resident
+// cache memory in the tens of megabytes — far beyond any single paper
+// artifact's working set, small enough to hold steady under multi-tenant
+// service traffic.
+const DefaultMaxEntries = 4096
+
+// entry is a memo-cache slot; done is closed once res/err are final, so
+// concurrent identical jobs coalesce onto one simulation. res and err are
+// published by the done close; everything else is guarded by Runner.mu.
+type entry struct {
+	key  string
+	done chan struct{}
+	res  core.Result
+	err  error
+	// completed flips once finalize ran; only completed entries may be
+	// evicted, so coalescing waiters never lose an in-flight entry.
+	completed bool
+	// size is the entry's approximate resident payload, charged to
+	// Runner.bytes while the entry is linked.
+	size int64
+	// expiresAt bounds negative caching: set only on error entries under
+	// a positive ErrorTTL, after which lookup treats the entry as absent.
+	expiresAt  time.Time
+	prev, next *entry // recency ring links; nil when unlinked
+}
+
+// lruList is an intrusive recency ring over cache entries, front = most
+// recently used. The sentinel root removes nil edge cases.
+type lruList struct {
+	root entry
+}
+
+func (l *lruList) init() {
+	l.root.prev = &l.root
+	l.root.next = &l.root
+}
+
+func (l *lruList) pushFront(e *entry) {
+	e.prev = &l.root
+	e.next = l.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (l *lruList) moveToFront(e *entry) {
+	l.unlink(e)
+	l.pushFront(e)
+}
+
+func (l *lruList) unlink(e *entry) {
+	if e.prev == nil {
+		return // already unlinked
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// backCompleted returns the least-recently-used evictable entry, walking
+// past in-flight entries (they cannot be evicted), or nil if none.
+func (l *lruList) backCompleted() *entry {
+	for e := l.root.prev; e != &l.root; e = e.prev {
+		if e.completed {
+			return e
+		}
+	}
+	return nil
+}
+
+// lookup returns the live entry for key and refreshes its recency, or nil
+// on a miss. A negative-cached error entry past its TTL is dropped here
+// and reported as a miss, so the caller re-runs the cell. Runner.mu held.
+func (r *Runner) lookup(key string) *entry {
+	e, ok := r.cache[key]
+	if !ok {
+		return nil
+	}
+	if e.completed && e.err != nil && r.now().After(e.expiresAt) {
+		r.remove(e)
+		return nil
+	}
+	r.lru.moveToFront(e)
+	return e
+}
+
+// insert links a fresh entry at the front of the recency ring. The key
+// must be absent. Runner.mu held.
+func (r *Runner) insert(e *entry) {
+	r.cache[e.key] = e
+	r.lru.pushFront(e)
+}
+
+// remove drops an entry from the cache and recency ring, refunding its
+// byte charge. Waiters already holding the *entry are unaffected: its
+// done/res/err stay readable after removal. Runner.mu held.
+func (r *Runner) remove(e *entry) {
+	if cur, ok := r.cache[e.key]; ok && cur == e {
+		delete(r.cache, e.key)
+	}
+	r.lru.unlink(e)
+	r.bytes -= e.size
+	e.size = 0
+}
+
+// evictOverBound drops least-recently-used completed entries until the
+// cache is within its bound. In-flight entries are skipped — the cache
+// may transiently exceed the bound while many cells simulate at once and
+// settles back as they complete. Runner.mu held.
+func (r *Runner) evictOverBound() {
+	if r.maxEntries < 0 {
+		return
+	}
+	for len(r.cache) > r.maxEntries {
+		victim := r.lru.backCompleted()
+		if victim == nil {
+			return
+		}
+		r.remove(victim)
+		r.stats.Evictions++
+	}
+}
+
+// finalize publishes a freshly-run entry's outcome, applies the failure
+// policy, and wakes coalesced waiters. Called exactly once per entry
+// created by run (exec's panic containment guarantees the caller reaches
+// it), so every waiter's done channel always closes.
+func (r *Runner) finalize(e *entry, res core.Result, err error) {
+	r.mu.Lock()
+	e.res, e.err = res, err
+	e.completed = true
+	switch {
+	case err == nil:
+		e.size = int64(len(e.key)) + resultSize(res)
+		r.bytes += e.size
+		r.evictOverBound()
+	case r.errTTL > 0:
+		// Negative caching: hold the failure for the TTL so a hammered
+		// known-bad cell is not re-simulated on every request.
+		r.stats.Poisoned++
+		e.expiresAt = r.now().Add(r.errTTL)
+		e.size = int64(len(e.key))
+		r.bytes += e.size
+		r.evictOverBound()
+	default:
+		// Never memoize failures: only waiters already coalesced onto
+		// this run observe the error; the next identical job re-runs.
+		r.stats.Poisoned++
+		r.remove(e)
+	}
+	r.mu.Unlock()
+	close(e.done)
+}
+
+// resultSize approximates a result's resident bytes by its JSON encoding
+// — the same shape the persistence layer writes, so the bytes gauge also
+// predicts snapshot size.
+func resultSize(res core.Result) int64 {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}

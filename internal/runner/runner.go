@@ -10,6 +10,21 @@
 // re-simulate the same cell, whether they execute concurrently within one
 // sweep or across separate calls sharing a Runner.
 //
+// The engine is crash-safe in the shape a long-lived service needs:
+//
+//   - Panic containment: a panic out of core.Run or a workload body is
+//     recovered — in the serial path and in every sweep worker — and
+//     converted to a *PanicError outcome for that cell alone. Coalesced
+//     waiters on the panicking cell always unblock; the process stays up.
+//   - Failure policy: error outcomes are not memoized by default, so a
+//     transient failure never poisons the cache for future identical
+//     jobs. Options.ErrorTTL enables bounded negative caching instead.
+//   - Bounded cache: the memo cache is an LRU capped at
+//     Options.MaxEntries completed entries; eviction never touches an
+//     in-flight entry, so coalescing stays correct under churn. A cache
+//     can be snapshotted to disk and reloaded (see SaveCache/LoadCache)
+//     to keep its hit rate across process restarts.
+//
 // Determinism guarantee: because each core.Run builds its own simulation
 // kernel and shares no mutable state, Sweep's output depends only on the
 // job list — never on the worker count or on scheduling order. Rendered
@@ -23,7 +38,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/npb"
@@ -67,47 +84,111 @@ type Outcome struct {
 	Cached bool
 }
 
-// Stats counts the engine's work.
+// Stats counts the engine's work and the memo cache's occupancy.
 type Stats struct {
 	Runs int // simulations actually executed
 	Hits int // jobs satisfied from the cache (or coalesced in-flight)
+	// Panics counts panics recovered from simulations (and, as a
+	// backstop, from sweep observers); each became an error outcome
+	// instead of a process crash.
+	Panics int
+	// Poisoned counts error outcomes withheld from durable memoization
+	// by the failure policy (dropped outright, or negative-cached with a
+	// TTL when Options.ErrorTTL is set).
+	Poisoned int
+	// Evictions counts completed entries dropped by the LRU bound.
+	Evictions int
+	// Entries is the resident cache size (completed + in-flight), and
+	// Bytes its approximate resident payload (keys + JSON-encoded
+	// results). Both are gauges, not counters.
+	Entries int
+	Bytes   int64
 }
 
-// entry is a memo-cache slot; done is closed once res/err are final, so
-// concurrent identical jobs coalesce onto one simulation.
-type entry struct {
-	done chan struct{}
-	res  core.Result
-	err  error
+// PanicError is the outcome error of a simulation that panicked. The
+// engine contains the panic so one poisoned cell cannot take down a whole
+// sweep — or the dvsd process hosting it.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: simulation panicked: %v", e.Value)
+}
+
+// Options configures a Runner beyond its parallelism.
+type Options struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS, 1 is the serial
+	// reference configuration.
+	Workers int
+	// MaxEntries bounds the memo cache. 0 selects DefaultMaxEntries;
+	// negative disables the bound (the pre-service, in-process sweep
+	// behaviour).
+	MaxEntries int
+	// ErrorTTL is the failure policy. Zero (the default) never memoizes
+	// an error outcome: the entry is dropped the moment it completes, so
+	// only waiters already coalesced onto the in-flight run observe the
+	// failure. A positive TTL negative-caches errors for that long —
+	// useful in the service, where hammering a known-bad cell should not
+	// re-simulate it on every request.
+	ErrorTTL time.Duration
 }
 
 // Runner is the sweep engine. It is safe for concurrent use; a single
 // Runner shared across experiments shares one memo cache.
 type Runner struct {
-	workers int
+	workers    int
+	maxEntries int // resolved: > 0, or < 0 for unbounded
+	errTTL     time.Duration
+	now        func() time.Time // test hook for ErrorTTL expiry
 
 	mu    sync.Mutex
 	cache map[string]*entry
+	lru   lruList
+	bytes int64
 	stats Stats
 }
 
-// New returns an engine with the given parallelism; workers <= 0 selects
-// GOMAXPROCS. Workers: 1 is the serial reference configuration.
+// New returns an engine with the given parallelism and default cache
+// policy; workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Runner {
+	return NewWithOptions(Options{Workers: workers})
+}
+
+// NewWithOptions returns an engine with explicit cache and failure
+// policy. The zero Options value matches New(0).
+func NewWithOptions(opts Options) *Runner {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, cache: map[string]*entry{}}
+	max := opts.MaxEntries
+	if max == 0 {
+		max = DefaultMaxEntries
+	}
+	r := &Runner{
+		workers:    workers,
+		maxEntries: max,
+		errTTL:     opts.ErrorTTL,
+		now:        time.Now,
+		cache:      map[string]*entry{},
+	}
+	r.lru.init()
+	return r
 }
 
 // Workers returns the engine's parallelism.
 func (r *Runner) Workers() int { return r.workers }
 
-// Stats returns a snapshot of the engine's run/hit counters.
+// Stats returns a snapshot of the engine's counters and cache gauges.
 func (r *Runner) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	st := r.stats
+	st.Entries = len(r.cache)
+	st.Bytes = r.bytes
+	return st
 }
 
 // Run executes one job through the memo cache on the calling goroutine.
@@ -134,6 +215,26 @@ func (r *Runner) Do(ctx context.Context, j Job) Outcome {
 	return r.run(ctx, j)
 }
 
+// coreRun is the simulation entry point, indirected so crash-containment
+// tests can inject panics at the exact call site a real failure would hit.
+var coreRun = core.Run
+
+// exec runs one simulation with panic containment: a panic out of
+// core.Run or the workload body is recovered and converted to a
+// *PanicError, so the caller always gets an (result, error) pair and —
+// via finalize — coalescing entries always close their done channel.
+func (r *Runner) exec(j Job) (res core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.mu.Lock()
+			r.stats.Panics++
+			r.mu.Unlock()
+			res, err = core.Result{}, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return coreRun(j.Workload, j.Strategy, j.Config)
+}
+
 // run executes or memo-resolves a single job. Cancellation is checked
 // before starting work and while blocked on a coalesced in-flight entry;
 // cancelled jobs resolve to ctx.Err() and touch neither cache nor stats.
@@ -146,11 +247,11 @@ func (r *Runner) run(ctx context.Context, j Job) Outcome {
 		r.mu.Lock()
 		r.stats.Runs++
 		r.mu.Unlock()
-		res, err := core.Run(j.Workload, j.Strategy, j.Config)
+		res, err := r.exec(j)
 		return Outcome{Result: res, Err: err}
 	}
 	r.mu.Lock()
-	if e, ok := r.cache[key]; ok {
+	if e := r.lookup(key); e != nil {
 		r.mu.Unlock()
 		select {
 		case <-e.done: // completed entries have done already closed
@@ -162,13 +263,32 @@ func (r *Runner) run(ctx context.Context, j Job) Outcome {
 			return Outcome{Err: ctx.Err()}
 		}
 	}
-	e := &entry{done: make(chan struct{})}
-	r.cache[key] = e
+	e := &entry{key: key, done: make(chan struct{})}
+	r.insert(e)
 	r.stats.Runs++
 	r.mu.Unlock()
-	e.res, e.err = core.Run(j.Workload, j.Strategy, j.Config)
-	close(e.done)
-	return Outcome{Result: e.res, Err: e.err}
+	res, err := r.exec(j)
+	r.finalize(e, res, err)
+	return Outcome{Result: res, Err: err}
+}
+
+// runCell executes one sweep cell into out[i] and notifies the observer.
+// The deferred recover is a backstop for panics that escape r.run's own
+// containment — an observer callback blowing up, say — so a sweep worker
+// never dies mid-loop and the cells behind it still run.
+func (r *Runner) runCell(ctx context.Context, j Job, i int, out []Outcome, emit func(int, Outcome)) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.mu.Lock()
+			r.stats.Panics++
+			r.mu.Unlock()
+			if out[i].Err == nil && out[i].Result.Name == "" {
+				out[i] = Outcome{Err: &PanicError{Value: v, Stack: debug.Stack()}}
+			}
+		}
+	}()
+	out[i] = r.run(ctx, j)
+	emit(i, out[i])
 }
 
 // deque is one worker's mutex-guarded job queue (indices into the sweep's
@@ -241,8 +361,11 @@ func (r *Runner) SweepFunc(ctx context.Context, jobs []Job, fn func(i int, o Out
 			return
 		}
 		emitMu.Lock()
+		// Deferred, not inline: a panicking observer must release the
+		// serialization lock on its way up to runCell's backstop, or
+		// every later cell's emit would deadlock.
+		defer emitMu.Unlock()
 		fn(i, o)
-		emitMu.Unlock()
 	}
 	workers := r.workers
 	if workers > len(jobs) {
@@ -250,8 +373,7 @@ func (r *Runner) SweepFunc(ctx context.Context, jobs []Job, fn func(i int, o Out
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			out[i] = r.run(ctx, j)
-			emit(i, out[i])
+			r.runCell(ctx, j, i, out, emit)
 		}
 		return out
 	}
@@ -288,8 +410,7 @@ func (r *Runner) SweepFunc(ctx context.Context, jobs []Job, fn func(i int, o Out
 					}
 					continue
 				}
-				out[i] = r.run(ctx, jobs[i])
-				emit(i, out[i])
+				r.runCell(ctx, jobs[i], i, out, emit)
 			}
 		}(w)
 	}

@@ -81,6 +81,10 @@ type Daemon struct {
 	cfg     CPUSpeedConfig
 	proc    *sim.Proc
 	stopped bool
+	err     error
+	// setSpeed applies an operating-point decision; a test hook, it
+	// defaults to the node's SetFrequencyIndex.
+	setSpeed func(idx int) error
 	// Steps counts scheduling decisions taken; Moves counts decisions
 	// that changed the operating point.
 	Steps, Moves int
@@ -91,7 +95,7 @@ func StartCPUSpeed(k *sim.Kernel, n *node.Node, cfg CPUSpeedConfig) (*Daemon, er
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Daemon{node: n, cfg: cfg}
+	d := &Daemon{node: n, cfg: cfg, setSpeed: n.SetFrequencyIndex}
 	d.proc = k.Spawn(fmt.Sprintf("cpuspeed.n%d", n.ID), d.run)
 	return d, nil
 }
@@ -128,12 +132,22 @@ func (d *Daemon) run(p *sim.Proc) {
 		d.Steps++
 		if s != n.OperatingIndex() {
 			d.Moves++
-			if err := n.SetFrequencyIndex(s); err != nil {
-				panic(fmt.Sprintf("cpuspeed.n%d: %v", n.ID, err))
+			if err := d.setSpeed(s); err != nil {
+				// A daemon failure must not take down the whole process
+				// (in dvsd, unrelated in-flight simulations share it):
+				// record the error and retire this daemon; callers
+				// inspect Err after Stop.
+				d.err = fmt.Errorf("cpuspeed.n%d: %w", n.ID, err)
+				return
 			}
 		}
 	}
 }
+
+// Err returns the error that retired the daemon early, if any — a failed
+// operating-point change aborts the daemon's loop instead of panicking.
+// Inspect it after Stop (or after the owning kernel finishes running).
+func (d *Daemon) Err() error { return d.err }
 
 // Stop terminates the daemon (idempotent). Safe to call from any proc or
 // completion callback; the daemon proc exits at the current virtual time.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -239,5 +240,52 @@ func TestDaemonNearestRounding(t *testing.T) {
 	}
 	if n.Frequency() != 1000 {
 		t.Fatalf("nearest(950) = %v", n.Frequency())
+	}
+}
+
+// TestDaemonSurfacesSetSpeedError asserts that a failed operating-point
+// change retires the daemon with a recorded error instead of panicking —
+// in a long-lived process like dvsd, a panic here would take down
+// unrelated in-flight simulations sharing the address space.
+func TestDaemonSurfacesSetSpeedError(t *testing.T) {
+	k := sim.NewKernel()
+	n := newNode(t, k, 0)
+	d, err := StartCPUSpeed(k, n, CPUSpeedV121())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sysfs write failed")
+	d.setSpeed = func(int) error { return boom }
+	// An idle node reads utilization ≈ 0, so the daemon's first tick
+	// decides to leave the top operating point and hits the failure.
+	k.At(sim.Time(time.Minute), func() { d.Stop() })
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	if got := d.Err(); !errors.Is(got, boom) {
+		t.Fatalf("Err() = %v, want wrapped %v", got, boom)
+	}
+	if d.Steps != 1 {
+		t.Fatalf("daemon kept stepping after a failed move: steps=%d", d.Steps)
+	}
+}
+
+// TestDaemonErrNilOnCleanRun asserts the error surface stays empty on the
+// happy path.
+func TestDaemonErrNilOnCleanRun(t *testing.T) {
+	k := sim.NewKernel()
+	n := newNode(t, k, 0)
+	d, err := StartCPUSpeed(k, n, CPUSpeedV121())
+	if err != nil {
+		t.Fatal(err)
+	}
+	busyFor(k, n, 10*time.Second)
+	k.At(sim.Time(11*time.Second), func() { d.Stop() })
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("clean run recorded error: %v", err)
 	}
 }

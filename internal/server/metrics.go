@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/runner"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning a
@@ -68,7 +70,8 @@ func (m *metrics) addCells(n int) {
 // render writes the Prometheus text exposition format. runnerStats and
 // the gate are read at call time so the figures are current, not
 // last-request-stale.
-func (m *metrics) render(w io.Writer, g *gate, runs, hits int) {
+func (m *metrics) render(w io.Writer, g *gate, st runner.Stats) {
+	runs, hits := st.Runs, st.Hits
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -127,4 +130,20 @@ func (m *metrics) render(w io.Writer, g *gate, runs, hits int) {
 		rate = float64(hits) / float64(runs+hits)
 	}
 	fmt.Fprintf(w, "dvsd_runner_cache_hit_rate %g\n", rate)
+
+	fmt.Fprintln(w, "# HELP dvsd_runner_panics_recovered_total Simulation panics contained by the engine and converted to error outcomes.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_panics_recovered_total counter")
+	fmt.Fprintf(w, "dvsd_runner_panics_recovered_total %d\n", st.Panics)
+	fmt.Fprintln(w, "# HELP dvsd_runner_poisoned_total Error outcomes withheld from durable memoization by the failure policy.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_poisoned_total counter")
+	fmt.Fprintf(w, "dvsd_runner_poisoned_total %d\n", st.Poisoned)
+	fmt.Fprintln(w, "# HELP dvsd_runner_cache_evictions_total Completed memo entries dropped by the LRU bound.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_cache_evictions_total counter")
+	fmt.Fprintf(w, "dvsd_runner_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintln(w, "# HELP dvsd_runner_cache_entries Resident memo-cache entries (completed + in-flight).")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_cache_entries gauge")
+	fmt.Fprintf(w, "dvsd_runner_cache_entries %d\n", st.Entries)
+	fmt.Fprintln(w, "# HELP dvsd_runner_cache_bytes Approximate resident memo-cache payload bytes.")
+	fmt.Fprintln(w, "# TYPE dvsd_runner_cache_bytes gauge")
+	fmt.Fprintf(w, "dvsd_runner_cache_bytes %d\n", st.Bytes)
 }

@@ -290,9 +290,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	st := s.runner.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"queue_depth\":%d,\"queue_capacity\":%d,\"workers\":%d}\n",
-		s.gate.depth(), s.gate.capacity(), s.runner.Workers())
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"queue_depth\":%d,\"queue_capacity\":%d,\"workers\":%d,\"cache_entries\":%d,\"cache_bytes\":%d}\n",
+		s.gate.depth(), s.gate.capacity(), s.runner.Workers(), st.Entries, st.Bytes)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -302,5 +303,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.runner.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.gate, st.Runs, st.Hits)
+	s.met.render(w, s.gate, st)
 }

@@ -443,12 +443,27 @@ func TestHealthz(t *testing.T) {
 		QueueDepth    int    `json:"queue_depth"`
 		QueueCapacity int    `json:"queue_capacity"`
 		Workers       int    `json:"workers"`
+		CacheEntries  int    `json:"cache_entries"`
+		CacheBytes    int64  `json:"cache_bytes"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
 		t.Fatal(err)
 	}
 	if h.Status != "ok" || h.QueueCapacity != 8 || h.Workers != s.Runner().Workers() {
 		t.Fatalf("healthz=%+v", h)
+	}
+	if h.CacheEntries != 0 || h.CacheBytes != 0 {
+		t.Fatalf("cold cache reports occupancy: %+v", h)
+	}
+	if rec := post(s, "/simulate", simFTS2); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: status=%d", rec.Code)
+	}
+	rec = get(s, "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheEntries != 1 || h.CacheBytes <= 0 {
+		t.Fatalf("warm cache not visible in healthz: %+v", h)
 	}
 }
 
@@ -479,10 +494,75 @@ func TestMetrics(t *testing.T) {
 		"dvsd_runner_runs_total 1",
 		"dvsd_runner_cache_hits_total 1",
 		"dvsd_runner_cache_hit_rate 0.5",
+		"dvsd_runner_panics_recovered_total 0",
+		"dvsd_runner_poisoned_total 0",
+		"dvsd_runner_cache_evictions_total 0",
+		"dvsd_runner_cache_entries 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+	if !strings.Contains(body, "dvsd_runner_cache_bytes ") {
+		t.Fatalf("metrics missing cache bytes gauge:\n%s", body)
+	}
+}
+
+// TestCacheBoundVisibleInMetrics sweeps more distinct cells than the
+// cache bound through the service and asserts the eviction and size
+// series report it: resident entries stay at the bound.
+func TestCacheBoundVisibleInMetrics(t *testing.T) {
+	s := testServer(t, Options{Runner: runner.NewWithOptions(runner.Options{Workers: 1, MaxEntries: 2})})
+	body := `{"workloads":[{"code":"FT","class":"S","ranks":2}],` +
+		`"strategies":[{"kind":"external","freq_mhz":600},{"kind":"external","freq_mhz":800},` +
+		`{"kind":"external","freq_mhz":1000},{"kind":"external","freq_mhz":1200}]}`
+	if rec := post(s, "/sweep", body); rec.Code != http.StatusOK {
+		t.Fatalf("sweep: status=%d", rec.Code)
+	}
+	metrics := get(s, "/metrics").Body.String()
+	for _, want := range []string{
+		"dvsd_runner_cache_entries 2",
+		"dvsd_runner_cache_evictions_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestRestartWithSnapshotServesFromCache is the dvsd restart scenario:
+// a warm server snapshots its cache on drain; a fresh server loading the
+// snapshot answers the same job with cache provenance true and zero new
+// simulations.
+func TestRestartWithSnapshotServesFromCache(t *testing.T) {
+	path := t.TempDir() + "/cache.ndjson"
+	warm := testServer(t, Options{})
+	if rec := post(warm, "/simulate", simFTS2); rec.Code != http.StatusOK {
+		t.Fatalf("warm simulate: status=%d", rec.Code)
+	}
+	if n, err := warm.Runner().SaveCache(path); err != nil || n != 1 {
+		t.Fatalf("save: n=%d err=%v", n, err)
+	}
+
+	cold := testServer(t, Options{})
+	if n, err := cold.Runner().LoadCache(path); err != nil || n != 1 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	rec := post(cold, "/simulate", simFTS2)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold simulate: status=%d", rec.Code)
+	}
+	var resp struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatalf("restarted service did not serve from the persisted cache: %s", rec.Body.String())
+	}
+	if st := cold.Runner().Stats(); st.Runs != 0 || st.Hits != 1 {
+		t.Fatalf("after restart: runs=%d hits=%d, want 0/1", st.Runs, st.Hits)
 	}
 }
 
