@@ -2,6 +2,13 @@
 // the simulated power-aware cluster and prints the measured energy, delay,
 // and per-node detail — the command-line face of the library.
 //
+// The -code and -strategy value sets come from the workload and strategy
+// registries, so a benchmark or strategy registered anywhere in the
+// program is selectable here without touching this file. Two
+// pseudo-strategies layer on top: "internal" (the §5.3 source-
+// instrumented FT/CG variants, really a workload selection) and
+// "auto-tune" (the X1 middleware).
+//
 // Usage:
 //
 //	dvsched -code FT                          # no DVS, class C, paper ranks
@@ -23,20 +30,17 @@ import (
 	"os"
 
 	"repro/internal/autosched"
+	"repro/internal/cliparse"
 	"repro/internal/core"
-	"repro/internal/dvs"
-	"repro/internal/npb"
 	"repro/internal/report"
-	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
 func main() {
-	code := flag.String("code", "FT", "benchmark code (BT CG EP FT IS LU MG SP SWIM)")
+	code := flag.String("code", "FT", "benchmark code ("+cliparse.WorkloadUsage()+")")
 	classFlag := flag.String("class", "C", "problem class (S W A B C)")
 	ranks := flag.Int("ranks", 0, "rank count (0 = the paper's count for the code)")
-	strategy := flag.String("strategy", "none",
-		"none | external | daemon | internal | ondemand | predictive | powercap | auto-tune")
+	strategy := flag.String("strategy", "none", cliparse.StrategyUsage("internal", "auto-tune"))
 	freq := flag.Float64("freq", 600, "external: static frequency in MHz")
 	version := flag.String("daemon-version", "1.2.1", "daemon: cpuspeed version (1.1 | 1.2.1)")
 	budget := flag.Float64("budget", 200, "powercap: cluster budget in watts")
@@ -46,57 +50,26 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "collect and print an MPE-style trace")
 	flag.Parse()
 
-	class := npb.Class((*classFlag)[0])
-	n := *ranks
-	if n == 0 {
-		n = npb.PaperRanks(*code)
+	cfg := core.DefaultConfig()
+
+	// The two pseudo-strategies: "internal" is really a workload variant
+	// (the strategy slot stays nodvs), "auto-tune" short-circuits into the
+	// X1 middleware.
+	variant := ""
+	stratName := *strategy
+	if stratName == "internal" {
+		variant, stratName = "internal", "none"
 	}
 
-	var w npb.Workload
-	var err error
-	strat := core.NoDVS()
-	switch *strategy {
-	case "none":
-		w, err = npb.New(*code, class, n)
-	case "external":
-		w, err = npb.New(*code, class, n)
-		strat = core.External(dvs.MHz(*freq))
-	case "daemon":
-		w, err = npb.New(*code, class, n)
-		switch *version {
-		case "1.1":
-			strat = core.Daemon(sched.CPUSpeedV11())
-		case "1.2.1":
-			strat = core.Daemon(sched.CPUSpeedV121())
-		default:
-			fatal(fmt.Errorf("unknown cpuspeed version %q", *version))
-		}
-	case "internal":
-		switch *code {
-		case "FT":
-			w, err = npb.FTInternal(class, n, dvs.MHz(*high), dvs.MHz(*low))
-		case "CG":
-			w, err = npb.CGInternal(class, n, dvs.MHz(*high), dvs.MHz(*low))
-		default:
-			fatal(fmt.Errorf("internal scheduling variants exist for FT and CG (paper §5.3), not %s; try auto-tune", *code))
-		}
-	case "ondemand":
-		w, err = npb.New(*code, class, n)
-		strat = core.OnDemand(sched.DefaultOnDemand())
-	case "predictive":
-		w, err = npb.New(*code, class, n)
-		strat = core.Predictive(sched.DefaultPredictive())
-	case "powercap":
-		w, err = npb.New(*code, class, n)
-		strat = core.PowerCap(sched.DefaultPowerCap(*budget))
-	case "auto-tune":
-		w, err = npb.New(*code, class, n)
+	w, err := cliparse.Workload(*code, *classFlag, *ranks, variant, *high, *low)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *strategy == "auto-tune" {
+		res, err := autosched.Tune(w, cfg, autosched.DefaultConfig())
 		if err != nil {
 			fatal(err)
-		}
-		res, terr := autosched.Tune(w, core.DefaultConfig(), autosched.DefaultConfig())
-		if terr != nil {
-			fatal(terr)
 		}
 		for _, line := range res.Schedule.Rationale {
 			fmt.Println("auto-tune:", line)
@@ -105,14 +78,17 @@ func main() {
 			res.Tuned.Name, res.Normalized.Delay, res.Normalized.Energy,
 			report.Pct(1-res.Normalized.Energy))
 		return
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+
+	strat, err := cliparse.Strategy(stratName, cfg.Node.Table, cliparse.StrategyFlags{
+		Freq:   *freq,
+		Preset: *version,
+		Budget: *budget,
+	})
 	if err != nil {
 		fatal(err)
 	}
 
-	cfg := core.DefaultConfig()
 	var log *trace.Log
 	if *traceFlag {
 		log = trace.New(w.Ranks)
@@ -138,7 +114,7 @@ func main() {
 	fmt.Println(t.String())
 
 	if *baseline {
-		wb, err := npb.New(*code, class, n)
+		wb, err := cliparse.Workload(*code, *classFlag, *ranks, "", 0, 0)
 		if err != nil {
 			fatal(err)
 		}

@@ -16,16 +16,15 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliparse"
 	"repro/internal/core"
 	"repro/internal/dvs"
 	"repro/internal/netsim"
-	"repro/internal/npb"
 	"repro/internal/report"
-	"repro/internal/sched"
 )
 
 func main() {
-	codes := flag.String("codes", "FT", "comma-separated benchmark codes")
+	codes := flag.String("codes", "FT", "comma-separated benchmark codes ("+cliparse.WorkloadUsage()+")")
 	classes := flag.String("classes", "W", "comma-separated problem classes")
 	ranksFlag := flag.String("ranks", "8", "comma-separated rank counts (0 = paper count)")
 	freqs := flag.String("freqs", "all", "comma-separated MHz values, or 'all'")
@@ -60,16 +59,16 @@ func main() {
 		"norm delay", "norm energy")
 	for _, code := range splitList(*codes) {
 		for _, cl := range splitList(*classes) {
-			class := npb.Class(cl[0])
 			for _, rs := range splitList(*ranksFlag) {
 				n, err := strconv.Atoi(rs)
 				if err != nil {
 					fatal(err)
 				}
-				if n == 0 {
-					n = npb.PaperRanks(code)
-				}
-				w, err := npb.New(code, class, n)
+				// The workload and the swept strategies all resolve
+				// through the registries (ranks 0 = the paper's count),
+				// so off-table frequencies and unknown codes reject with
+				// the same messages dvsd gives.
+				w, err := cliparse.Workload(code, cl, n, "", 0, 0)
 				if err != nil {
 					fatal(err)
 				}
@@ -82,14 +81,23 @@ func main() {
 					if f == cfg.Node.Table.Top().Frequency {
 						continue
 					}
-					r, err := core.Run(w, core.External(f), cfg)
+					strat, err := cliparse.Strategy("external", cfg.Node.Table,
+						cliparse.StrategyFlags{Freq: float64(f)})
+					if err != nil {
+						fatal(err)
+					}
+					r, err := core.Run(w, strat, cfg)
 					if err != nil {
 						fatal(err)
 					}
 					addRow(t, r, base)
 				}
 				if *auto {
-					r, err := core.Run(w, core.Daemon(sched.CPUSpeedV121()), cfg)
+					strat, err := cliparse.Strategy("daemon", cfg.Node.Table, cliparse.StrategyFlags{})
+					if err != nil {
+						fatal(err)
+					}
+					r, err := core.Run(w, strat, cfg)
 					if err != nil {
 						fatal(err)
 					}

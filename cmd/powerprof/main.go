@@ -8,6 +8,7 @@
 //	powerprof -code FT -class B                       # print summary + profile
 //	powerprof -code FT -profile ft.csv -json ft.json  # export artifacts
 //	powerprof -code CG -strategy external -freq 800
+//	powerprof -code FT -strategy powercap -budget 200 # any registered strategy
 package main
 
 import (
@@ -16,48 +17,41 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliparse"
 	"repro/internal/core"
-	"repro/internal/dvs"
-	"repro/internal/npb"
 	"repro/internal/powerpack"
 	"repro/internal/report"
-	"repro/internal/sched"
 )
 
 func main() {
-	code := flag.String("code", "FT", "benchmark code")
+	code := flag.String("code", "FT", "benchmark code ("+cliparse.WorkloadUsage()+")")
 	classFlag := flag.String("class", "B", "problem class")
 	ranks := flag.Int("ranks", 0, "rank count (0 = paper count)")
-	strategy := flag.String("strategy", "none", "none | external | daemon | predictive")
+	strategy := flag.String("strategy", "none", cliparse.StrategyUsage())
 	freq := flag.Float64("freq", 600, "external: MHz")
+	budget := flag.Float64("budget", 200, "powercap: cluster budget in watts")
 	sample := flag.Duration("sample", time.Second, "profile sampling period")
 	warmup := flag.Duration("warmup", 5*time.Minute, "pre-measurement idle (the paper used ~5 min)")
 	profilePath := flag.String("profile", "", "write the power profile CSV here")
 	jsonPath := flag.String("json", "", "write the measurement JSON here")
 	flag.Parse()
 
-	n := *ranks
-	if n == 0 {
-		n = npb.PaperRanks(*code)
-	}
-	w, err := npb.New(*code, npb.Class((*classFlag)[0]), n)
+	cfg := core.DefaultConfig()
+	w, err := cliparse.Workload(*code, *classFlag, *ranks, "", 0, 0)
 	if err != nil {
 		fatal(err)
 	}
-	strat := core.NoDVS()
-	switch *strategy {
-	case "none":
-	case "external":
-		strat = core.External(dvs.MHz(*freq))
-	case "daemon":
-		strat = core.Daemon(sched.CPUSpeedV121())
-	case "predictive":
-		strat = core.Predictive(sched.DefaultPredictive())
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	// Every registered strategy runs instrumented — Run and
+	// RunInstrumented share one assembly path.
+	strat, err := cliparse.Strategy(*strategy, cfg.Node.Table, cliparse.StrategyFlags{
+		Freq:   *freq,
+		Budget: *budget,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
-	res, err := core.RunInstrumented(w, strat, core.DefaultConfig(), *sample, *warmup)
+	res, err := core.RunInstrumented(w, strat, cfg, *sample, *warmup)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,9 +62,9 @@ func main() {
 	fmt.Printf("  Baytech strip  : %.1f J\n", m.Baytech)
 	fmt.Printf("  ground truth   : %.1f J\n", m.True)
 	fmt.Printf("  ACPI error     : %.2f%% (quantization bound %.1f J for %d nodes)\n",
-		(m.ACPI-m.True)/m.True*100, powerpack.MaxQuantizationError(n), n)
+		(m.ACPI-m.True)/m.True*100, powerpack.MaxQuantizationError(w.Ranks), w.Ranks)
 
-	rows := powerpack.Align(res.Profile, n)
+	rows := powerpack.Align(res.Profile, w.Ranks)
 	t := report.NewTable("cluster power profile (aligned)", "t", "total W", "min node W", "max node W")
 	step := len(rows)/12 + 1
 	for i := 0; i < len(rows); i += step {

@@ -1,0 +1,78 @@
+// Package cliparse compiles the flag vocabulary shared by the
+// command-line binaries (dvsched, nemo, powerprof) into workloads and
+// strategies through the npb and core registries. It is the CLI face of
+// the same decode path the dvsd service uses, so a benchmark or strategy
+// registered anywhere is immediately selectable from every binary — and
+// the binaries' usage strings enumerate the registry instead of going
+// stale.
+package cliparse
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/npb"
+)
+
+// Workload builds the benchmark selected by the common -code / -class /
+// -ranks flags through the workload registry. Zero ranks means the
+// paper's count for the code; variant "internal" (with high/low MHz,
+// 0 = the paper's 1400/600) selects the §5.3 source-instrumented build.
+func Workload(code, class string, ranks int, variant string, high, low float64) (npb.Workload, error) {
+	return npb.Spec{
+		Code:    code,
+		Class:   class,
+		Ranks:   ranks,
+		Variant: variant,
+		HighMHz: high,
+		LowMHz:  low,
+	}.Build()
+}
+
+// StrategyFlags carries the strategy-parameter flags a binary exposes;
+// zero values mean "not given". The named strategy's registered decoder
+// reads only the fields it cares about.
+type StrategyFlags struct {
+	Freq       float64 // external: static MHz
+	Preset     string  // daemon: cpuspeed version, "v" optional ("1.2.1" ≡ "v1.2.1")
+	Budget     float64 // powercap: cluster budget in watts
+	IntervalMS float64 // control-period override for the daemon strategies
+	TargetLoad float64 // predictive: headroom target override
+	Headroom   float64 // powercap: hysteresis override
+}
+
+// Strategy resolves a -strategy flag value — any registered strategy
+// name, or the binaries' historical alias "none" for nodvs — against the
+// cluster's operating-point table through the strategy registry.
+func Strategy(name string, table dvs.Table, f StrategyFlags) (core.Strategy, error) {
+	if name == "" || name == "none" {
+		name = "nodvs"
+	}
+	preset := f.Preset
+	if preset != "" && !strings.HasPrefix(preset, "v") {
+		preset = "v" + preset
+	}
+	return core.DecodeStrategy(name, core.StrategyArgs{
+		FreqMHz:     f.Freq,
+		Preset:      preset,
+		BudgetWatts: f.Budget,
+		IntervalMS:  f.IntervalMS,
+		TargetLoad:  f.TargetLoad,
+		Headroom:    f.Headroom,
+		Table:       table,
+	})
+}
+
+// StrategyUsage renders the -strategy flag's value set from the registry,
+// appending any binary-specific pseudo-strategies ("internal",
+// "auto-tune") the caller layers on top.
+func StrategyUsage(extra ...string) string {
+	names := append([]string{"none"}, core.StrategyNames()...)
+	return strings.Join(append(names, extra...), " | ")
+}
+
+// WorkloadUsage renders the -code flag's value set from the registry.
+func WorkloadUsage() string {
+	return strings.Join(npb.Codes(), " ")
+}

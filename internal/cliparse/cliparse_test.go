@@ -1,0 +1,70 @@
+package cliparse_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cliparse"
+	"repro/internal/core"
+	"repro/internal/npb"
+)
+
+func TestStrategyAliasesAndPresets(t *testing.T) {
+	tab := core.DefaultConfig().Node.Table
+	for _, name := range []string{"", "none", "nodvs"} {
+		s, err := cliparse.Strategy(name, tab, cliparse.StrategyFlags{})
+		if err != nil {
+			t.Fatalf("Strategy(%q): %v", name, err)
+		}
+		if s.Kind != core.KindNoDVS {
+			t.Fatalf("Strategy(%q).Kind = %d, want nodvs", name, s.Kind)
+		}
+	}
+	// The historical -daemon-version values ("1.1") and the registry's
+	// preset names ("v1.1") both resolve.
+	for _, preset := range []string{"1.1", "v1.1", "1.2.1", "v1.2.1"} {
+		if _, err := cliparse.Strategy("daemon", tab, cliparse.StrategyFlags{Preset: preset}); err != nil {
+			t.Fatalf("daemon preset %q rejected: %v", preset, err)
+		}
+	}
+	if _, err := cliparse.Strategy("daemon", tab, cliparse.StrategyFlags{Preset: "9.9"}); err == nil {
+		t.Fatal("bogus daemon preset accepted")
+	}
+	if _, err := cliparse.Strategy("external", tab, cliparse.StrategyFlags{Freq: 700}); err == nil {
+		t.Fatal("off-table external frequency accepted")
+	}
+	if _, err := cliparse.Strategy("warp", tab, cliparse.StrategyFlags{}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestWorkloadThroughRegistry(t *testing.T) {
+	w, err := cliparse.Workload("FT", "S", 0, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Ranks != npb.PaperRanks("FT") {
+		t.Fatalf("ranks %d, want paper default %d", w.Ranks, npb.PaperRanks("FT"))
+	}
+	if _, err := cliparse.Workload("ZZ", "S", 0, "", 0, 0); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+	if _, err := cliparse.Workload("EP", "S", 0, "internal", 0, 0); err == nil {
+		t.Fatal("internal variant of EP accepted")
+	}
+}
+
+func TestUsageStringsEnumerateRegistries(t *testing.T) {
+	u := cliparse.StrategyUsage("internal", "auto-tune")
+	for _, want := range append(core.StrategyNames(), "none", "internal", "auto-tune") {
+		if !strings.Contains(u, want) {
+			t.Fatalf("StrategyUsage() = %q missing %q", u, want)
+		}
+	}
+	wu := cliparse.WorkloadUsage()
+	for _, code := range npb.Codes() {
+		if !strings.Contains(wu, code) {
+			t.Fatalf("WorkloadUsage() = %q missing %q", wu, code)
+		}
+	}
+}

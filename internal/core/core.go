@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dvs"
 	"repro/internal/mpisim"
 	"repro/internal/netsim"
@@ -87,25 +88,14 @@ func PowerCap(cfg sched.PowerCapConfig) Strategy {
 	return Strategy{Kind: KindPowerCap, PowerCap: cfg}
 }
 
-// String names the strategy the way the paper's tables do.
+// String names the strategy the way the paper's tables do, through the
+// strategy's registration; unregistered kinds render as "?".
 func (s Strategy) String() string {
-	switch s.Kind {
-	case KindNoDVS:
-		return "1400"
-	case KindExternal:
-		return fmt.Sprintf("%.0f", float64(s.Freq))
-	case KindExternalPerNode:
-		return "per-node"
-	case KindDaemon:
-		return "auto"
-	case KindPredictive:
-		return "predictive"
-	case KindOnDemand:
-		return "ondemand"
-	case KindPowerCap:
-		return fmt.Sprintf("cap %.0fW", s.PowerCap.BudgetWatts)
+	r, ok := lookupKind(s.Kind)
+	if !ok {
+		return "?"
 	}
-	return "?"
+	return r.String(s)
 }
 
 // Config assembles the cluster model parameters.
@@ -189,70 +179,51 @@ func (r Result) AvgPower() float64 {
 // Run executes workload w under strategy strat on a fresh simulated
 // cluster and returns the measurements.
 func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
-	k := sim.NewKernel()
-	nodes := make([]*node.Node, w.Ranks)
-	for i := range nodes {
-		n, err := node.New(k, i, cfg.Node)
-		if err != nil {
-			return Result{}, err
-		}
-		nodes[i] = n
-	}
-	netCfg := cfg.Net
-	netCfg.Nodes = w.Ranks
-	net, err := netsim.New(k, netCfg)
+	c, err := cluster.New(cluster.Config{
+		Nodes: w.Ranks,
+		Node:  cfg.Node,
+		Net:   cfg.Net,
+		MPI:   cfg.MPI,
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	world, err := mpisim.NewWorld(k, net, nodes, cfg.MPI)
+	return runOn(c, w, strat, cfg, 0)
+}
+
+// runOn is the single measurement path shared by Run and RunInstrumented:
+// compile the strategy through the registry, attach it, (optionally) idle
+// through the §4.2 conditioning warmup, launch the workload, drive the
+// kernel to completion, and collect the result. Because both entry points
+// funnel here, a strategy that works uninstrumented works instrumented by
+// construction — the two paths can never drift again.
+func runOn(c *cluster.Cluster, w npb.Workload, strat Strategy, cfg Config, warmup time.Duration) (Result, error) {
+	plan, err := strat.plan()
 	if err != nil {
 		return Result{}, err
 	}
+	k := c.Kernel()
+	world := c.World()
 	if cfg.Tracer != nil {
 		world.SetTracer(cfg.Tracer)
 	}
-
-	var daemons []*sched.Daemon
-	switch strat.Kind {
-	case KindNoDVS:
-		// Nodes start at top speed by default.
-	case KindExternal:
-		if err := sched.SetAll(nodes, strat.Freq); err != nil {
-			return Result{}, err
-		}
-	case KindExternalPerNode:
-		if err := sched.SetPerNode(nodes, strat.PerNode); err != nil {
-			return Result{}, err
-		}
-	case KindDaemon:
-		ds, stop, err := sched.StartCluster(k, nodes, strat.Daemon)
-		if err != nil {
-			return Result{}, err
-		}
-		daemons = ds
-		world.OnAllDone(stop)
-	case KindPredictive:
-		_, stop, err := sched.StartPredictiveCluster(k, nodes, strat.Predictive)
-		if err != nil {
-			return Result{}, err
-		}
-		world.OnAllDone(stop)
-	case KindOnDemand:
-		_, stop, err := sched.StartOnDemandCluster(k, nodes, strat.OnDemand)
-		if err != nil {
-			return Result{}, err
-		}
-		world.OnAllDone(stop)
-	case KindPowerCap:
-		pc, err := sched.StartPowerCap(k, nodes, strat.PowerCap)
-		if err != nil {
-			return Result{}, err
-		}
-		world.OnAllDone(pc.Stop)
-	default:
-		return Result{}, fmt.Errorf("core: unknown strategy kind %d", strat.Kind)
+	finish, err := plan.Attach(k, c.Nodes(), world)
+	if err != nil {
+		return Result{}, err
 	}
 
+	// §4.2 conditioning: idle (on battery, when instrumented) before
+	// measuring, so the first battery reading is stable. The workload
+	// launches afterwards and elapsed time excludes the idle.
+	if warmup > 0 {
+		k.After(warmup, func() {})
+		if err := k.Run(sim.Time(0).Add(warmup + time.Nanosecond)); err != nil {
+			return Result{}, err
+		}
+	}
+	if m := c.Meter(); m != nil {
+		m.Begin()
+	}
 	if err := w.Launch(world); err != nil {
 		return Result{}, err
 	}
@@ -266,10 +237,10 @@ func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
 	res := Result{
 		Name:     w.Name(),
 		Strategy: strat.String(),
-		Elapsed:  time.Duration(world.Elapsed()),
-		Net:      net.Stats(),
+		Elapsed:  time.Duration(world.Elapsed()) - warmup,
+		Net:      c.Network().Stats(),
 	}
-	for i, n := range nodes {
+	for i, n := range c.Nodes() {
 		e := n.Energy()
 		res.NodeEnergy = append(res.NodeEnergy, e)
 		res.Energy += e.Total()
@@ -278,14 +249,10 @@ func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
 		res.Transitions += n.Transitions()
 		res.Thermal = append(res.Thermal, n.Thermal())
 	}
-	for _, d := range daemons {
-		// A daemon that failed to change operating points retires itself
-		// with a recorded error instead of panicking; its run measured a
-		// half-applied strategy and must not be reported as a result.
-		if err := d.Err(); err != nil {
+	if finish != nil {
+		if err := finish(&res); err != nil {
 			return Result{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
 		}
-		res.DaemonMoves += d.Moves
 	}
 	return res, nil
 }

@@ -1,14 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/npb"
 	"repro/internal/powerpack"
-	"repro/internal/sched"
-	"repro/internal/sim"
 )
 
 // InstrumentedResult bundles a run's true accounting with what the
@@ -21,11 +18,13 @@ type InstrumentedResult struct {
 
 // RunInstrumented executes the workload like Run but on a PowerPack-
 // instrumented cluster: per-node ACPI batteries, the Baytech strip, and a
-// power-profile collector sampling at the given period. It reproduces the
-// paper's full measurement methodology, including the §4.2 conditioning
-// protocol (idle discharge before the run).
+// power-profile collector sampling at the given period (0 disables the
+// collector). It reproduces the paper's full measurement methodology,
+// including the §4.2 conditioning protocol (idle discharge before the
+// run). Strategy dispatch and measurement go through the same runOn path
+// as Run, so every registered strategy works instrumented.
 func RunInstrumented(w npb.Workload, strat Strategy, cfg Config, samplePeriod, warmup time.Duration) (InstrumentedResult, error) {
-	ccfg := cluster.Config{
+	c, err := cluster.New(cluster.Config{
 		Nodes:         w.Ranks,
 		Node:          cfg.Node,
 		Net:           cfg.Net,
@@ -33,87 +32,19 @@ func RunInstrumented(w npb.Workload, strat Strategy, cfg Config, samplePeriod, w
 		Instrument:    true,
 		Battery:       powerpack.DefaultBattery(),
 		CollectPeriod: samplePeriod,
-	}
-	c, err := cluster.New(ccfg)
+	})
 	if err != nil {
 		return InstrumentedResult{}, err
 	}
-	k := c.Kernel()
-	if cfg.Tracer != nil {
-		c.World().SetTracer(cfg.Tracer)
-	}
-
-	var daemons []*sched.Daemon
-	switch strat.Kind {
-	case KindNoDVS:
-	case KindExternal:
-		if err := c.SetAllFrequencies(strat.Freq); err != nil {
-			return InstrumentedResult{}, err
-		}
-	case KindExternalPerNode:
-		if err := sched.SetPerNode(c.Nodes(), strat.PerNode); err != nil {
-			return InstrumentedResult{}, err
-		}
-	case KindDaemon:
-		ds, stop, err := sched.StartCluster(k, c.Nodes(), strat.Daemon)
-		if err != nil {
-			return InstrumentedResult{}, err
-		}
-		daemons = ds
-		c.World().OnAllDone(stop)
-	case KindPredictive:
-		_, stop, err := sched.StartPredictiveCluster(k, c.Nodes(), strat.Predictive)
-		if err != nil {
-			return InstrumentedResult{}, err
-		}
-		c.World().OnAllDone(stop)
-	default:
-		return InstrumentedResult{}, fmt.Errorf("core: unknown strategy kind %d", strat.Kind)
-	}
-
-	// §4.2 conditioning: idle on battery before measuring, so the first
-	// battery reading is stable. The workload launches afterwards.
-	if warmup > 0 {
-		k.After(warmup, func() {})
-		if err := k.Run(sim.Time(0).Add(warmup + time.Nanosecond)); err != nil {
-			return InstrumentedResult{}, err
-		}
-	}
-	c.Meter().Begin()
-	if err := w.Launch(c.World()); err != nil {
+	res, err := runOn(c, w, strat, cfg, warmup)
+	if err != nil {
 		return InstrumentedResult{}, err
-	}
-	if err := k.Run(sim.MaxTime); err != nil {
-		return InstrumentedResult{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
-	}
-	if !c.World().Done() {
-		return InstrumentedResult{}, fmt.Errorf("core: %s did not complete", w.Name())
-	}
-	for _, d := range daemons {
-		if err := d.Err(); err != nil {
-			return InstrumentedResult{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
-		}
 	}
 	meas, err := c.Measurement()
 	if err != nil {
 		return InstrumentedResult{}, err
 	}
-
-	out := InstrumentedResult{Measurement: meas}
-	out.Result = Result{
-		Name:     w.Name(),
-		Strategy: strat.String(),
-		Elapsed:  time.Duration(c.World().Elapsed()) - warmup,
-		Net:      c.Network().Stats(),
-	}
-	for i, n := range c.Nodes() {
-		e := n.Energy()
-		out.NodeEnergy = append(out.NodeEnergy, e)
-		out.Result.Energy += e.Total()
-		out.RankStats = append(out.RankStats, c.World().Rank(i).Stats())
-		out.TimeAtOp = append(out.TimeAtOp, n.TimeAt())
-		out.Transitions += n.Transitions()
-	}
+	out := InstrumentedResult{Result: res, Measurement: meas}
 	if col := c.Collector(); col != nil {
 		out.Profile = col.Samples()
 	}

@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dvs"
+	"repro/internal/mpisim"
+	"repro/internal/node"
+	"repro/internal/npb"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// TestRegistryParity is the drift guard the old twin assembly paths
+// lacked: every registered strategy must be accepted by both Run and
+// RunInstrumented (the instrumented path used to reject ondemand and
+// powercap), and the two must agree on Result.Strategy naming.
+func TestRegistryParity(t *testing.T) {
+	regs := core.Strategies()
+	if len(regs) < 7 {
+		t.Fatalf("expected at least the seven paper strategies, have %d", len(regs))
+	}
+	seen := map[string]bool{}
+	for _, r := range regs {
+		seen[r.Name] = true
+	}
+	// The two historically instrumented-rejected strategies must be here,
+	// or the parity loop below proves nothing about the old gap.
+	for _, name := range []string{"ondemand", "powercap"} {
+		if !seen[name] {
+			t.Fatalf("strategy %q not registered", name)
+		}
+	}
+	for _, r := range regs {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			strat := r.Example()
+			w := ft(t, npb.ClassS)
+			plain, err := core.Run(w, strat, core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("Run(%s): %v", r.Name, err)
+			}
+			inst, err := core.RunInstrumented(w, strat, core.DefaultConfig(), 0, 0)
+			if err != nil {
+				t.Fatalf("RunInstrumented(%s): %v", r.Name, err)
+			}
+			if plain.Strategy != inst.Strategy {
+				t.Fatalf("strategy naming drift: Run=%q RunInstrumented=%q",
+					plain.Strategy, inst.Strategy)
+			}
+			if plain.Elapsed != inst.Elapsed || plain.Energy != inst.Energy {
+				t.Fatalf("measurement drift for %s: plain (%v, %.3f J) vs instrumented (%v, %.3f J)",
+					r.Name, plain.Elapsed, plain.Energy, inst.Elapsed, inst.Energy)
+			}
+		})
+	}
+}
+
+// TestRegistryNamesAndStringsPinned pins the wire names (registration
+// order) and the paper-table string forms of the seven strategies:
+// Result.Strategy strings are part of the runner cache contract and of
+// every rendered table, so a refactor must not change them.
+func TestRegistryNamesAndStringsPinned(t *testing.T) {
+	want := []string{"nodvs", "external", "external-per-node", "daemon",
+		"predictive", "ondemand", "powercap"}
+	names := core.StrategyNames()
+	if len(names) < len(want) {
+		t.Fatalf("StrategyNames() = %v, want at least %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("StrategyNames()[%d] = %q, want %q (full: %v)", i, names[i], n, names)
+		}
+	}
+	forms := map[string]string{
+		"1400":       core.NoDVS().String(),
+		"600":        core.External(600).String(),
+		"per-node":   core.ExternalPerNode(map[int]dvs.MHz{0: 800}).String(),
+		"auto":       core.Daemon(sched.CPUSpeedV121()).String(),
+		"predictive": core.Predictive(sched.DefaultPredictive()).String(),
+		"ondemand":   core.OnDemand(sched.DefaultOnDemand()).String(),
+		"cap 200W":   core.PowerCap(sched.DefaultPowerCap(200)).String(),
+	}
+	for want, got := range forms {
+		if got != want {
+			t.Fatalf("Strategy.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// The toy eighth strategy of the acceptance criteria: registered here, in
+// one file, without touching core source — and runnable through both
+// entry points and the wire decoder. It pins every node at the table
+// midpoint.
+const kindToy core.StrategyKind = 100
+
+var registerToy = sync.Once{}
+
+func toyStrategy() core.Strategy { return core.Strategy{Kind: kindToy} }
+
+func registerToyStrategy() {
+	registerToy.Do(func() {
+		core.RegisterStrategy(core.Registration{
+			Kind:   kindToy,
+			Name:   "toy-midpoint",
+			String: func(core.Strategy) string { return "toy" },
+			Plan: func(s core.Strategy) (core.StrategyPlan, error) {
+				return core.PlanFunc("toy-midpoint", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*core.Result) error, error) {
+					table := nodes[0].Table()
+					mid := table.Frequencies()[len(table)/2]
+					return nil, sched.SetAll(nodes, mid)
+				}), nil
+			},
+			Decode: func(a core.StrategyArgs) (core.Strategy, error) {
+				if a.FreqMHz != 0 {
+					return core.Strategy{}, spec.Errorf("freq_mhz", "toy-midpoint takes no parameters")
+				}
+				return toyStrategy(), nil
+			},
+			Example: toyStrategy,
+		})
+	})
+}
+
+func TestToyStrategySingleRegistration(t *testing.T) {
+	registerToyStrategy()
+	w := ft(t, npb.ClassS)
+
+	plain, err := core.Run(w, toyStrategy(), core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run(toy): %v", err)
+	}
+	if plain.Strategy != "toy" {
+		t.Fatalf("Result.Strategy = %q, want toy", plain.Strategy)
+	}
+	inst, err := core.RunInstrumented(w, toyStrategy(), core.DefaultConfig(), 0, 0)
+	if err != nil {
+		t.Fatalf("RunInstrumented(toy): %v", err)
+	}
+	if inst.Strategy != "toy" {
+		t.Fatalf("instrumented Result.Strategy = %q, want toy", inst.Strategy)
+	}
+
+	// The wire decoder picks it up too, and enumerates it on rejection.
+	cfg := core.DefaultConfig()
+	strat, err := core.DecodeStrategy("toy-midpoint", core.StrategyArgs{Table: cfg.Node.Table})
+	if err != nil {
+		t.Fatalf("DecodeStrategy(toy-midpoint): %v", err)
+	}
+	if strat.Kind != kindToy {
+		t.Fatalf("decoded kind %d, want %d", strat.Kind, kindToy)
+	}
+	if _, err := core.DecodeStrategy("toy-midpoint", core.StrategyArgs{FreqMHz: 600}); err == nil {
+		t.Fatal("toy decode accepted a parameter it rejects")
+	}
+}
+
+// TestDecodeStrategyUnknownKind asserts the rejection enumerates the
+// registered names dynamically.
+func TestDecodeStrategyUnknownKind(t *testing.T) {
+	_, err := core.DecodeStrategy("warp", core.StrategyArgs{})
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	se, ok := err.(*spec.Error)
+	if !ok {
+		t.Fatalf("error %T, want *spec.Error", err)
+	}
+	if se.Field != "kind" {
+		t.Fatalf("field %q, want kind", se.Field)
+	}
+	for _, name := range core.StrategyNames() {
+		if !strings.Contains(se.Msg, name) {
+			t.Fatalf("rejection %q does not enumerate registered name %q", se.Msg, name)
+		}
+	}
+}

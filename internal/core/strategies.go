@@ -1,0 +1,246 @@
+// The seven paper strategies, each a self-contained registration: its
+// Strategy tag, wire name, string form, attach logic (shared verbatim by
+// Run and RunInstrumented — they can no longer drift), and wire decoder.
+// This file replaces the four switches that used to dispatch on
+// StrategyKind across core.Run, core.RunInstrumented, Strategy.String,
+// and server.StrategySpec.build.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/dvs"
+	"repro/internal/mpisim"
+	"repro/internal/node"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func init() {
+	RegisterStrategy(Registration{
+		Kind: KindNoDVS,
+		Name: "nodvs",
+		// The baseline is labelled by the top frequency, the way the
+		// paper's tables head their normalization column.
+		String: func(Strategy) string { return "1400" },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			return PlanFunc("nodvs", func(*sim.Kernel, []*node.Node, *mpisim.World) (func(*Result) error, error) {
+				// Nodes start at top speed by default.
+				return nil, nil
+			}), nil
+		},
+		Decode:  func(StrategyArgs) (Strategy, error) { return NoDVS(), nil },
+		Example: NoDVS,
+	})
+
+	RegisterStrategy(Registration{
+		Kind:   KindExternal,
+		Name:   "external",
+		String: func(s Strategy) string { return fmt.Sprintf("%.0f", float64(s.Freq)) },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			f := s.Freq
+			return PlanFunc("external", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*Result) error, error) {
+				return nil, sched.SetAll(nodes, f)
+			}), nil
+		},
+		Decode: func(a StrategyArgs) (Strategy, error) {
+			if a.FreqMHz == 0 {
+				return Strategy{}, spec.Errorf("freq_mhz", "required for kind=external")
+			}
+			if err := a.CheckFreq("freq_mhz", dvs.MHz(a.FreqMHz)); err != nil {
+				return Strategy{}, err
+			}
+			return External(dvs.MHz(a.FreqMHz)), nil
+		},
+		Example: func() Strategy { return External(600) },
+	})
+
+	RegisterStrategy(Registration{
+		Kind:   KindExternalPerNode,
+		Name:   "external-per-node",
+		String: func(Strategy) string { return "per-node" },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			freqs := s.PerNode
+			return PlanFunc("external-per-node", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*Result) error, error) {
+				return nil, sched.SetPerNode(nodes, freqs)
+			}), nil
+		},
+		Decode: func(a StrategyArgs) (Strategy, error) {
+			if len(a.PerNode) == 0 {
+				return Strategy{}, spec.Errorf("per_node", "required for kind=external-per-node")
+			}
+			freqs := make(map[int]dvs.MHz, len(a.PerNode))
+			// Iterate keys sorted so the first error is deterministic.
+			keys := make([]string, 0, len(a.PerNode))
+			for k := range a.PerNode {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				id, err := strconv.Atoi(k)
+				if err != nil || id < 0 {
+					return Strategy{}, spec.Errorf("per_node", "key %q is not a node ID", k)
+				}
+				f := dvs.MHz(a.PerNode[k])
+				if err := a.CheckFreq(fmt.Sprintf("per_node[%s]", k), f); err != nil {
+					return Strategy{}, err
+				}
+				freqs[id] = f
+			}
+			return ExternalPerNode(freqs), nil
+		},
+		Example: func() Strategy { return ExternalPerNode(map[int]dvs.MHz{0: 800}) },
+	})
+
+	RegisterStrategy(Registration{
+		Kind:   KindDaemon,
+		Name:   "daemon",
+		String: func(Strategy) string { return "auto" },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			cfg := s.Daemon
+			return PlanFunc("daemon", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*Result) error, error) {
+				ds, stop, err := sched.StartCluster(k, nodes, cfg)
+				if err != nil {
+					return nil, err
+				}
+				w.OnAllDone(stop)
+				return func(res *Result) error {
+					for _, d := range ds {
+						// A daemon that failed to change operating points
+						// retires itself with a recorded error instead of
+						// panicking; its run measured a half-applied
+						// strategy and must not be reported as a result.
+						if err := d.Err(); err != nil {
+							return err
+						}
+						res.DaemonMoves += d.Moves
+					}
+					return nil
+				}, nil
+			}), nil
+		},
+		Decode: func(a StrategyArgs) (Strategy, error) {
+			var cfg sched.CPUSpeedConfig
+			switch a.Preset {
+			case "", "v1.2.1":
+				cfg = sched.CPUSpeedV121()
+			case "v1.1":
+				cfg = sched.CPUSpeedV11()
+			default:
+				return Strategy{}, spec.Errorf("preset", "unknown daemon preset %q; want v1.1 or v1.2.1", a.Preset)
+			}
+			iv, err := a.Interval(cfg.Interval)
+			if err != nil {
+				return Strategy{}, err
+			}
+			cfg.Interval = iv
+			if err := cfg.Validate(); err != nil {
+				return Strategy{}, spec.Errorf("", "%v", err)
+			}
+			return Daemon(cfg), nil
+		},
+		Example: func() Strategy { return Daemon(sched.CPUSpeedV121()) },
+	})
+
+	RegisterStrategy(Registration{
+		Kind:   KindPredictive,
+		Name:   "predictive",
+		String: func(Strategy) string { return "predictive" },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			cfg := s.Predictive
+			return PlanFunc("predictive", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*Result) error, error) {
+				_, stop, err := sched.StartPredictiveCluster(k, nodes, cfg)
+				if err != nil {
+					return nil, err
+				}
+				w.OnAllDone(stop)
+				return nil, nil
+			}), nil
+		},
+		Decode: func(a StrategyArgs) (Strategy, error) {
+			cfg := sched.DefaultPredictive()
+			if a.TargetLoad != 0 {
+				cfg.TargetLoad = a.TargetLoad
+			}
+			iv, err := a.Interval(cfg.Window)
+			if err != nil {
+				return Strategy{}, err
+			}
+			cfg.Window = iv
+			if err := cfg.Validate(); err != nil {
+				return Strategy{}, spec.Errorf("", "%v", err)
+			}
+			return Predictive(cfg), nil
+		},
+		Example: func() Strategy { return Predictive(sched.DefaultPredictive()) },
+	})
+
+	RegisterStrategy(Registration{
+		Kind:   KindOnDemand,
+		Name:   "ondemand",
+		String: func(Strategy) string { return "ondemand" },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			cfg := s.OnDemand
+			return PlanFunc("ondemand", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*Result) error, error) {
+				_, stop, err := sched.StartOnDemandCluster(k, nodes, cfg)
+				if err != nil {
+					return nil, err
+				}
+				w.OnAllDone(stop)
+				return nil, nil
+			}), nil
+		},
+		Decode: func(a StrategyArgs) (Strategy, error) {
+			cfg := sched.DefaultOnDemand()
+			iv, err := a.Interval(cfg.SamplingRate)
+			if err != nil {
+				return Strategy{}, err
+			}
+			cfg.SamplingRate = iv
+			if err := cfg.Validate(); err != nil {
+				return Strategy{}, spec.Errorf("", "%v", err)
+			}
+			return OnDemand(cfg), nil
+		},
+		Example: func() Strategy { return OnDemand(sched.DefaultOnDemand()) },
+	})
+
+	RegisterStrategy(Registration{
+		Kind:   KindPowerCap,
+		Name:   "powercap",
+		String: func(s Strategy) string { return fmt.Sprintf("cap %.0fW", s.PowerCap.BudgetWatts) },
+		Plan: func(s Strategy) (StrategyPlan, error) {
+			cfg := s.PowerCap
+			return PlanFunc("powercap", func(k *sim.Kernel, nodes []*node.Node, w *mpisim.World) (func(*Result) error, error) {
+				pc, err := sched.StartPowerCap(k, nodes, cfg)
+				if err != nil {
+					return nil, err
+				}
+				w.OnAllDone(pc.Stop)
+				return nil, nil
+			}), nil
+		},
+		Decode: func(a StrategyArgs) (Strategy, error) {
+			if a.BudgetWatts <= 0 {
+				return Strategy{}, spec.Errorf("budget_watts", "required and positive for kind=powercap, got %g", a.BudgetWatts)
+			}
+			cfg := sched.DefaultPowerCap(a.BudgetWatts)
+			if a.Headroom != 0 {
+				cfg.Headroom = a.Headroom
+			}
+			iv, err := a.Interval(cfg.Interval)
+			if err != nil {
+				return Strategy{}, err
+			}
+			cfg.Interval = iv
+			if err := cfg.Validate(); err != nil {
+				return Strategy{}, spec.Errorf("", "%v", err)
+			}
+			return PowerCap(cfg), nil
+		},
+		Example: func() Strategy { return PowerCap(sched.DefaultPowerCap(190)) },
+	})
+}

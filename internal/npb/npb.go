@@ -18,7 +18,7 @@ package npb
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 
 	"repro/internal/mpisim"
 )
@@ -133,50 +133,40 @@ func (w Workload) Launch(world *mpisim.World) error {
 // Builder constructs a Workload for a class and rank count.
 type Builder func(class Class, ranks int) (Workload, error)
 
-// registry of plain benchmarks by code name.
-var registry = map[string]Builder{
-	"EP":   EP,
-	"MG":   MG,
-	"CG":   CG,
-	"FT":   FT,
-	"IS":   IS,
-	"LU":   LU,
-	"SP":   SP,
-	"BT":   BT,
-	"BTIO": BTIO,
-	"SWIM": Swim,
-}
-
-// Codes returns the registered benchmark names, sorted.
-func Codes() []string {
-	out := make([]string, 0, len(registry))
-	for c := range registry {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
+// The paper's benchmark suite, registered with the rank count each code
+// was run with (XX.C.8, except BT/SP/BTIO which need a square count: 9,
+// and the single-node SPEC swim) and, for FT and CG, the §5.3
+// source-instrumented internal variant.
+func init() {
+	Register(Entry{Code: "EP", Build: EP, PaperRanks: 8})
+	Register(Entry{Code: "MG", Build: MG, PaperRanks: 8})
+	Register(Entry{Code: "CG", Build: CG, PaperRanks: 8, Internal: CGInternal})
+	Register(Entry{Code: "FT", Build: FT, PaperRanks: 8, Internal: FTInternal})
+	Register(Entry{Code: "IS", Build: IS, PaperRanks: 8})
+	Register(Entry{Code: "LU", Build: LU, PaperRanks: 8})
+	Register(Entry{Code: "SP", Build: SP, PaperRanks: 9})
+	Register(Entry{Code: "BT", Build: BT, PaperRanks: 9})
+	Register(Entry{Code: "BTIO", Build: BTIO, PaperRanks: 9})
+	Register(Entry{Code: "SWIM", Build: Swim, PaperRanks: 1})
 }
 
 // New builds the named benchmark (case-sensitive code, e.g. "FT").
 func New(code string, class Class, ranks int) (Workload, error) {
-	b, ok := registry[code]
+	e, ok := Lookup(code)
 	if !ok {
-		return Workload{}, fmt.Errorf("npb: unknown benchmark %q (have %v)", code, Codes())
+		return Workload{}, fmt.Errorf("npb: unknown benchmark %q (have %s)",
+			code, strings.Join(Codes(), " "))
 	}
-	return b(class, ranks)
+	return e.Build(class, ranks)
 }
 
-// PaperRanks returns the rank count the paper ran each code with
-// (XX.C.8, except BT/SP which need a square count: 9).
+// PaperRanks returns the rank count the paper ran each code with; unknown
+// codes fall back to the suite's common count of 8.
 func PaperRanks(code string) int {
-	switch code {
-	case "BT", "SP", "BTIO":
-		return 9
-	case "SWIM":
-		return 1
-	default:
-		return 8
+	if e, ok := Lookup(code); ok {
+		return e.PaperRanks
 	}
+	return 8
 }
 
 // checkRanks validates a rank count for the common codes.

@@ -2,10 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/spec"
 )
 
 // Error codes returned in the "code" field of error responses. They are
@@ -55,6 +58,22 @@ func errf(status int, code, field, format string, args ...any) *apiError {
 // badField is the common 400 constructor used by the spec builders.
 func badField(code, field, format string, args ...any) *apiError {
 	return errf(http.StatusBadRequest, code, field, format, args...)
+}
+
+// specErr translates a registry decode rejection (a *spec.Error whose
+// field path is relative to the object being decoded) into the service's
+// typed 400, rooted under the given object path ("workload", "strategy").
+// Non-registry errors blame the whole object.
+func specErr(err error, code, root string) *apiError {
+	var se *spec.Error
+	if errors.As(err, &se) {
+		field := root
+		if se.Field != "" {
+			field = root + "." + se.Field
+		}
+		return badField(code, field, "%s", se.Msg)
+	}
+	return badField(code, root, "%v", err)
 }
 
 // inField re-roots a spec builder's error under a parent field path, so

@@ -6,8 +6,6 @@ package server
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
 	"strings"
 	"time"
 
@@ -15,7 +13,6 @@ import (
 	"repro/internal/dvs"
 	"repro/internal/npb"
 	"repro/internal/runner"
-	"repro/internal/sched"
 )
 
 // WorkloadSpec names a benchmark instance.
@@ -38,64 +35,27 @@ type WorkloadSpec struct {
 }
 
 func (s WorkloadSpec) build() (npb.Workload, error) {
-	if s.Code == "" {
-		return npb.Workload{}, badField(CodeInvalidWorkload, "workload.code",
-			"required; one of %s", strings.Join(npb.Codes(), ", "))
-	}
-	class := npb.ClassC
-	if s.Class != "" {
-		if len(s.Class) != 1 || !npb.Class(s.Class[0]).Valid() {
-			return npb.Workload{}, badField(CodeInvalidWorkload, "workload.class",
-				"%q is not a class; want a single letter among S, W, A, B, C", s.Class)
-		}
-		class = npb.Class(s.Class[0])
-	}
-	ranks := s.Ranks
-	if ranks == 0 {
-		ranks = npb.PaperRanks(s.Code)
-	}
-	if ranks < 0 {
-		return npb.Workload{}, badField(CodeInvalidWorkload, "workload.ranks",
-			"must be positive, got %d", ranks)
-	}
-	high, low := dvs.MHz(s.HighMHz), dvs.MHz(s.LowMHz)
-	if high == 0 {
-		high = 1400
-	}
-	if low == 0 {
-		low = 600
-	}
-	var (
-		w   npb.Workload
-		err error
-	)
-	switch s.Variant {
-	case "":
-		w, err = npb.New(s.Code, class, ranks)
-	case "internal":
-		switch s.Code {
-		case "FT":
-			w, err = npb.FTInternal(class, ranks, high, low)
-		case "CG":
-			w, err = npb.CGInternal(class, ranks, high, low)
-		default:
-			return npb.Workload{}, badField(CodeInvalidWorkload, "workload.variant",
-				"internal instrumentation exists only for FT and CG, not %s", s.Code)
-		}
-	default:
-		return npb.Workload{}, badField(CodeInvalidWorkload, "workload.variant",
-			"unknown variant %q; want \"\" or \"internal\"", s.Variant)
-	}
+	w, err := npb.Spec{
+		Code:    s.Code,
+		Class:   s.Class,
+		Ranks:   s.Ranks,
+		Variant: s.Variant,
+		HighMHz: s.HighMHz,
+		LowMHz:  s.LowMHz,
+	}.Build()
 	if err != nil {
-		return npb.Workload{}, badField(CodeInvalidWorkload, "workload", "%v", err)
+		return npb.Workload{}, specErr(err, CodeInvalidWorkload, "workload")
 	}
 	return w, nil
 }
 
-// StrategySpec selects and parameterizes a DVS scheduling strategy.
+// StrategySpec selects and parameterizes a DVS scheduling strategy. The
+// parameter fields are the union of what the registered strategies
+// consume; each strategy's Decode hook reads the fields it cares about.
 type StrategySpec struct {
-	// Kind is one of: nodvs, external, external-per-node, daemon,
-	// predictive, ondemand, powercap.
+	// Kind is a registered strategy name — core.StrategyNames(), i.e.
+	// nodvs, external, external-per-node, daemon, predictive, ondemand,
+	// powercap, plus anything downstream code registered.
 	Kind string `json:"kind"`
 	// FreqMHz is the static frequency for kind=external.
 	FreqMHz float64 `json:"freq_mhz,omitempty"`
@@ -115,137 +75,30 @@ type StrategySpec struct {
 	Headroom float64 `json:"headroom,omitempty"`
 }
 
-// interval converts the millisecond override, falling back to def.
-func (s StrategySpec) interval(def time.Duration) (time.Duration, error) {
-	if s.IntervalMS == 0 {
-		return def, nil
-	}
-	if s.IntervalMS < 0 {
-		return 0, badField(CodeInvalidStrategy, "strategy.interval_ms",
-			"must be positive, got %g", s.IntervalMS)
-	}
-	return time.Duration(s.IntervalMS * float64(time.Millisecond)), nil
-}
-
+// build decodes the spec through the strategy registry: the spec's
+// parameter fields become a core.StrategyArgs bag, and the registered
+// strategy named by Kind reads the fields it cares about. Unknown kinds
+// reject listing the registered names, so a strategy added downstream is
+// admitted (and advertised) without touching this file.
 func (s StrategySpec) build(table dvs.Table) (core.Strategy, error) {
-	checkFreq := func(field string, f dvs.MHz) error {
-		if table.IndexOf(f) < 0 {
-			fs := make([]string, len(table))
-			for i, mhz := range table.Frequencies() {
-				fs[i] = fmt.Sprintf("%.0f", float64(mhz))
-			}
-			return badField(CodeInvalidStrategy, field,
-				"%.0f MHz is not an operating point; have %s", float64(f), strings.Join(fs, ", "))
-		}
-		return nil
+	if s.Kind == "" {
+		return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.kind",
+			"required; one of %s", strings.Join(core.StrategyNames(), ", "))
 	}
-	switch s.Kind {
-	case "nodvs", "":
-		if s.Kind == "" {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.kind",
-				"required; one of nodvs, external, external-per-node, daemon, predictive, ondemand, powercap")
-		}
-		return core.NoDVS(), nil
-	case "external":
-		if s.FreqMHz == 0 {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.freq_mhz",
-				"required for kind=external")
-		}
-		if err := checkFreq("strategy.freq_mhz", dvs.MHz(s.FreqMHz)); err != nil {
-			return core.Strategy{}, err
-		}
-		return core.External(dvs.MHz(s.FreqMHz)), nil
-	case "external-per-node":
-		if len(s.PerNode) == 0 {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.per_node",
-				"required for kind=external-per-node")
-		}
-		freqs := make(map[int]dvs.MHz, len(s.PerNode))
-		// Iterate keys sorted so the first error is deterministic.
-		keys := make([]string, 0, len(s.PerNode))
-		for k := range s.PerNode {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			id, err := strconv.Atoi(k)
-			if err != nil || id < 0 {
-				return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.per_node",
-					"key %q is not a node ID", k)
-			}
-			f := dvs.MHz(s.PerNode[k])
-			if err := checkFreq(fmt.Sprintf("strategy.per_node[%s]", k), f); err != nil {
-				return core.Strategy{}, err
-			}
-			freqs[id] = f
-		}
-		return core.ExternalPerNode(freqs), nil
-	case "daemon":
-		var cfg sched.CPUSpeedConfig
-		switch s.Preset {
-		case "", "v1.2.1":
-			cfg = sched.CPUSpeedV121()
-		case "v1.1":
-			cfg = sched.CPUSpeedV11()
-		default:
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.preset",
-				"unknown daemon preset %q; want v1.1 or v1.2.1", s.Preset)
-		}
-		iv, err := s.interval(cfg.Interval)
-		if err != nil {
-			return core.Strategy{}, err
-		}
-		cfg.Interval = iv
-		if err := cfg.Validate(); err != nil {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
-		}
-		return core.Daemon(cfg), nil
-	case "predictive":
-		cfg := sched.DefaultPredictive()
-		if s.TargetLoad != 0 {
-			cfg.TargetLoad = s.TargetLoad
-		}
-		iv, err := s.interval(cfg.Window)
-		if err != nil {
-			return core.Strategy{}, err
-		}
-		cfg.Window = iv
-		if err := cfg.Validate(); err != nil {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
-		}
-		return core.Predictive(cfg), nil
-	case "ondemand":
-		cfg := sched.DefaultOnDemand()
-		iv, err := s.interval(cfg.SamplingRate)
-		if err != nil {
-			return core.Strategy{}, err
-		}
-		cfg.SamplingRate = iv
-		if err := cfg.Validate(); err != nil {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
-		}
-		return core.OnDemand(cfg), nil
-	case "powercap":
-		if s.BudgetWatts <= 0 {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.budget_watts",
-				"required and positive for kind=powercap, got %g", s.BudgetWatts)
-		}
-		cfg := sched.DefaultPowerCap(s.BudgetWatts)
-		if s.Headroom != 0 {
-			cfg.Headroom = s.Headroom
-		}
-		iv, err := s.interval(cfg.Interval)
-		if err != nil {
-			return core.Strategy{}, err
-		}
-		cfg.Interval = iv
-		if err := cfg.Validate(); err != nil {
-			return core.Strategy{}, badField(CodeInvalidStrategy, "strategy", "%v", err)
-		}
-		return core.PowerCap(cfg), nil
+	strat, err := core.DecodeStrategy(s.Kind, core.StrategyArgs{
+		FreqMHz:     s.FreqMHz,
+		PerNode:     s.PerNode,
+		Preset:      s.Preset,
+		IntervalMS:  s.IntervalMS,
+		TargetLoad:  s.TargetLoad,
+		BudgetWatts: s.BudgetWatts,
+		Headroom:    s.Headroom,
+		Table:       table,
+	})
+	if err != nil {
+		return core.Strategy{}, specErr(err, CodeInvalidStrategy, "strategy")
 	}
-	return core.Strategy{}, badField(CodeInvalidStrategy, "strategy.kind",
-		"unknown kind %q; one of nodvs, external, external-per-node, daemon, predictive, ondemand, powercap", s.Kind)
+	return strat, nil
 }
 
 // ConfigSpec optionally overrides the calibrated NEMO cluster model.
