@@ -1,0 +1,74 @@
+package sim_test
+
+// The kernel's own alloc tests (alloc_test.go) pin the handoff substrate
+// at zero allocations. This external-package test pins the full mpisim
+// ping-pong round trip — Send/Recv through netsim and the node model —
+// at its steady-state allocation budget, so a kernel change that sneaks
+// allocations into the proc switch (or an MPI-layer change that regresses
+// the message path) fails here rather than only showing up in -benchmem.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/mpisim"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// pingPongAllocBudget is the per-round-trip allocation count across both
+// ranks: per Irecv a Request, a wait queue, and its name; per Isend a
+// Request and the delivery closure. The kernel handoff path contributes
+// zero — every event comes from the freelist and every proc switch is a
+// direct continuation handoff (or no switch at all).
+const pingPongAllocBudget = 13
+
+func TestMPIPingPongSteadyStateAllocBudget(t *testing.T) {
+	k := sim.NewKernel()
+	nodes := []*node.Node{
+		node.MustNew(k, 0, node.DefaultConfig()),
+		node.MustNew(k, 1, node.DefaultConfig()),
+	}
+	net := netsim.MustNew(k, netsim.DefaultConfig(2))
+	w, err := mpisim.NewWorld(k, net, nodes, mpisim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, rounds = 64, 1024
+	var mallocs uint64
+	if err := w.Launch("pingpong", func(r *mpisim.Rank) {
+		roundTrip := func() {
+			if r.ID() == 0 {
+				r.Send(1, 0, 64)
+				r.Recv(1, 1)
+			} else {
+				r.Recv(0, 0)
+				r.Send(0, 1, 64)
+			}
+		}
+		for i := 0; i < warmup; i++ {
+			roundTrip()
+		}
+		var m0, m1 runtime.MemStats
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&m0)
+		}
+		for i := 0; i < rounds; i++ {
+			roundTrip()
+		}
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&m1)
+			mallocs = m1.Mallocs - m0.Mallocs
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	perRound := float64(mallocs) / rounds
+	if perRound > pingPongAllocBudget {
+		t.Fatalf("ping-pong round trip allocates %.2f objects, budget %d", perRound, pingPongAllocBudget)
+	}
+}

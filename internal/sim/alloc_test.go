@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -52,6 +53,106 @@ func TestSignalHotPathAllocFree(t *testing.T) {
 	}
 	if err := k.Run(MaxTime); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestQueueWaitSignalAllocFree pins the queue wake path: once the waiter
+// ring and the event freelist are warm, a full Wait→Signal→resume cycle
+// performs zero heap allocations. The ring (head-index, power-of-two)
+// replaced a shifting slice; this assertion keeps both the ring and the
+// direct-handoff resume path allocation-free.
+func TestQueueWaitSignalAllocFree(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	const warmup, runs = 8, 1000
+	// AllocsPerRun invokes f runs+1 times (one warm-up call); the waiter
+	// must consume exactly every signal and then exit so the final Run
+	// can drain cleanly. A miscount fails loudly as a deadlock.
+	const rounds = warmup + runs + 1
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			q.Wait(p)
+		}
+	})
+	// A far-future sentinel keeps the deadlock detector quiet while the
+	// waiter is parked between bounded Run calls.
+	k.At(MaxTime-1, func() {})
+	sig := func() { q.Signal() }
+	at := Time(0)
+	step := func() {
+		at = at.Add(time.Microsecond)
+		k.At(at, sig)
+		if err := k.Run(at + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(runs, step); allocs != 0 {
+		t.Fatalf("Wait/Signal cycle allocates %.1f objects, want 0", allocs)
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestSleepInterruptibleAllocFree pins the interruptible sleep path
+// (schedule → yield → park → channel resume) at zero allocations.
+func TestSleepInterruptibleAllocFree(t *testing.T) {
+	k := NewKernel()
+	const warmup, runs = 8, 1000
+	const rounds = warmup + runs + 1
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			if _, err := p.SleepInterruptible(time.Microsecond); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	at := Time(0)
+	step := func() {
+		at = at.Add(time.Microsecond)
+		if err := k.Run(at + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(runs, step); allocs != 0 {
+		t.Fatalf("SleepInterruptible cycle allocates %.1f objects, want 0", allocs)
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestSelfResumeAllocFree pins the zero-switch fast path: a proc popping
+// its own wake event and continuing must not touch the heap allocator at
+// all. Measured inside the proc body so the whole run — including the
+// inline dispatch loop — is covered.
+func TestSelfResumeAllocFree(t *testing.T) {
+	k := NewKernel()
+	var mallocs uint64
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 64; i++ { // warm the freelist
+			p.Sleep(time.Microsecond)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < 1000; i++ {
+			p.Sleep(time.Microsecond)
+		}
+		runtime.ReadMemStats(&m1)
+		mallocs = m1.Mallocs - m0.Mallocs
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if mallocs != 0 {
+		t.Fatalf("self-resume fast path allocated %d objects over 1000 sleeps, want 0", mallocs)
 	}
 }
 

@@ -58,21 +58,35 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
-// run is the goroutine body wrapping fn with the handoff protocol.
+// run is the goroutine body wrapping fn with the baton protocol: after the
+// body returns (or panics) this goroutine still holds the baton, so it
+// keeps dispatching events until the baton moves to another proc or the
+// loop finishes and the baton returns to the Run caller.
 func (p *Proc) run(fn func(p *Proc)) {
 	kind := <-p.wake // wait for the start event
 	defer func() {
+		aborting := kind == wakeAborted
 		if r := recover(); r != nil {
-			if err, ok := r.(error); !ok || !errors.Is(err, errAborted) {
-				if p.k.err == nil {
-					p.k.err = &PanicError{Proc: p.name, Value: r, Stack: string(debug.Stack())}
-				}
+			if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+				aborting = true
+			} else if p.k.err == nil {
+				p.k.err = &PanicError{Proc: p.name, Value: r, Stack: string(debug.Stack())}
 			}
 		}
 		p.done = true
 		delete(p.k.procs, p)
 		p.k.tracef("proc %s: exit", p.name)
-		p.k.handoff <- struct{}{}
+		if aborting {
+			// Hand the baton back to the abort coordinator (abortAll).
+			p.k.done <- struct{}{}
+			return
+		}
+		// Normal exit or body panic: keep the simulation moving. On a
+		// body panic k.err is set, so the loop finishes immediately and
+		// the Run caller takes over to abort the remaining procs.
+		if st, _ := p.k.runLoop(nil); st == loopFinished {
+			p.k.done <- struct{}{}
+		}
 	}()
 	if kind == wakeAborted {
 		return
@@ -90,14 +104,28 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// yield blocks the calling proc goroutine and resumes the kernel loop. It
-// returns the wake kind when the proc is next resumed.
+// yield blocks the calling proc and returns the wake kind when it is next
+// resumed. Instead of waking an executive goroutine, the blocking proc
+// runs the dispatch loop inline: if the next runnable event resumes this
+// very proc (a Sleep in a compute loop, a daemon poll tick), yield returns
+// without a single goroutine switch; otherwise the baton moves straight to
+// the next proc's goroutine and this one parks on its wake channel.
 func (p *Proc) yield() wakeKind {
 	if p.k.running != p {
 		panic(fmt.Sprintf("sim: proc %q yielding while not running", p.name))
 	}
-	p.k.handoff <- struct{}{}
-	kind := <-p.wake
+	st, kind := p.k.runLoop(p)
+	switch st {
+	case loopSelf:
+		// Zero-switch fast path: we popped our own wake event.
+	case loopHandedOff:
+		kind = <-p.wake
+	case loopFinished:
+		// Dispatch cannot proceed; return the baton to the Run caller
+		// and park until a future Run (or abortAll) resumes us.
+		p.k.done <- struct{}{}
+		kind = <-p.wake
+	}
 	if kind == wakeAborted {
 		panic(errAborted)
 	}

@@ -8,9 +8,15 @@ package sim
 // A Queue belongs to a single kernel and, like all sim types, must only be
 // used from proc bodies and At callbacks of that kernel.
 type Queue struct {
-	k       *Kernel
-	name    string
+	k    *Kernel
+	name string
+	// waiters is a power-of-two ring buffer: head indexes the
+	// longest-waiting proc and n counts the blocked procs. A ring makes
+	// Signal O(1) — the old flat slice shifted every remaining waiter on
+	// each release, turning Broadcast into O(n²) — and, once grown, the
+	// enqueue/release cycle is allocation-free.
 	waiters []*Proc
+	head, n int
 }
 
 // NewQueue creates a wait queue. The name appears in deadlock reports.
@@ -22,11 +28,35 @@ func (k *Kernel) NewQueue(name string) *Queue {
 func (q *Queue) Name() string { return q.name }
 
 // Len returns the number of procs currently blocked on the queue.
-func (q *Queue) Len() int { return len(q.waiters) }
+func (q *Queue) Len() int { return q.n }
+
+// enqueue appends p at the ring's tail, growing the buffer when full.
+func (q *Queue) enqueue(p *Proc) {
+	if q.n == len(q.waiters) {
+		q.grow()
+	}
+	q.waiters[(q.head+q.n)&(len(q.waiters)-1)] = p
+	q.n++
+}
+
+// grow doubles the ring, unrolling it so head restarts at zero. The ring
+// starts small: most queues (one per in-flight Irecv in mpisim) only ever
+// hold a single waiter.
+func (q *Queue) grow() {
+	c := len(q.waiters) * 2
+	if c == 0 {
+		c = 2
+	}
+	buf := make([]*Proc, c)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.waiters[(q.head+i)&(len(q.waiters)-1)]
+	}
+	q.waiters, q.head = buf, 0
+}
 
 // Wait blocks the calling proc until a Signal or Broadcast releases it.
 func (q *Queue) Wait(p *Proc) {
-	q.waiters = append(q.waiters, p)
+	q.enqueue(p)
 	if err := p.hold(q, false); err != nil {
 		panic("sim: uninterruptible wait interrupted")
 	}
@@ -35,19 +65,20 @@ func (q *Queue) Wait(p *Proc) {
 // WaitInterruptible blocks like Wait but may be cut short by
 // Proc.Interrupt, in which case it returns ErrInterrupted.
 func (q *Queue) WaitInterruptible(p *Proc) error {
-	q.waiters = append(q.waiters, p)
+	q.enqueue(p)
 	return p.hold(q, true)
 }
 
 // Signal releases the longest-waiting proc, scheduling it to resume at the
 // current virtual time. It reports whether a proc was released.
 func (q *Queue) Signal() bool {
-	if len(q.waiters) == 0 {
+	if q.n == 0 {
 		return false
 	}
-	p := q.waiters[0]
-	copy(q.waiters, q.waiters[1:])
-	q.waiters = q.waiters[:len(q.waiters)-1]
+	p := q.waiters[q.head]
+	q.waiters[q.head] = nil
+	q.head = (q.head + 1) & (len(q.waiters) - 1)
+	q.n--
 	ev := q.k.alloc()
 	ev.t, ev.proc = q.k.now, p
 	q.k.schedule(ev)
@@ -57,19 +88,25 @@ func (q *Queue) Signal() bool {
 
 // Broadcast releases all waiting procs in FIFO order.
 func (q *Queue) Broadcast() int {
-	n := len(q.waiters)
+	n := q.n
 	for q.Signal() {
 	}
 	return n
 }
 
 // remove deletes p from the queue without waking it (used by Interrupt and
-// kernel shutdown).
+// kernel shutdown), closing the gap so later waiters keep FIFO order.
 func (q *Queue) remove(p *Proc) {
-	for i, w := range q.waiters {
-		if w == p {
-			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
-			return
+	mask := len(q.waiters) - 1
+	for i := 0; i < q.n; i++ {
+		if q.waiters[(q.head+i)&mask] != p {
+			continue
 		}
+		for j := i; j < q.n-1; j++ {
+			q.waiters[(q.head+j)&mask] = q.waiters[(q.head+j+1)&mask]
+		}
+		q.waiters[(q.head+q.n-1)&mask] = nil
+		q.n--
+		return
 	}
 }

@@ -5,16 +5,24 @@
 // are written as ordinary Go functions ("procs") that call blocking
 // primitives such as Sleep and Queue.Wait; under the hood each proc runs in
 // its own goroutine, but the kernel guarantees that exactly one goroutine
-// (either the kernel loop or a single proc) executes at any instant, so
+// (the Run caller or a single proc) executes at any instant, so
 // simulations are fully deterministic: same program, same seed, same result.
 //
 // Events with equal timestamps fire in the order they were scheduled
 // (FIFO tie-break by sequence number).
+//
+// Scheduling uses direct continuation handoff (DESIGN §10): there is no
+// dedicated executive goroutine. Whichever goroutine holds the "baton"
+// runs the dispatch loop; when the next event resumes another proc the
+// baton moves with a single channel send, and when it resumes the proc
+// whose goroutine is already running the loop, the proc simply returns
+// from its own dispatch call — zero goroutine switches.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"time"
 )
@@ -133,16 +141,30 @@ func (h *eventHeap) pop() *event {
 // Kernel is the simulation executive. The zero value is not usable; create
 // one with NewKernel.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	free    []*event // recycled events; see alloc/release
-	handoff chan struct{}
+	now    Time
+	seq    uint64
+	limit  Time // exclusive horizon of the current Run call
+	events eventHeap
+	free   []*event // recycled events; see alloc/release
+	// done returns the baton to the Run caller when the loop finishes in
+	// a proc goroutine, and to the abort coordinator when an aborted proc
+	// finishes unwinding. Exactly one goroutine ever waits on it.
+	done    chan struct{}
 	procs   map[*Proc]struct{}
 	running *Proc
 	inRun   bool
 	err     error
+	// cbPanic records a panic raised by an At callback while the loop was
+	// running; Run re-raises it in its caller after aborting the procs.
+	cbPanic *callbackPanic
 	trace   func(t Time, format string, args ...any)
+}
+
+// callbackPanic carries an At-callback panic from whichever goroutine ran
+// the dispatch loop back to the Run caller.
+type callbackPanic struct {
+	value any
+	stack string
 }
 
 // eventPrealloc sizes the event heap and freelist at construction so
@@ -152,10 +174,10 @@ const eventPrealloc = 64
 // NewKernel returns a kernel with the clock at zero and no pending events.
 func NewKernel() *Kernel {
 	return &Kernel{
-		events:  make(eventHeap, 0, eventPrealloc),
-		free:    make([]*event, 0, eventPrealloc),
-		handoff: make(chan struct{}),
-		procs:   make(map[*Proc]struct{}),
+		events: make(eventHeap, 0, eventPrealloc),
+		free:   make([]*event, 0, eventPrealloc),
+		done:   make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
 	}
 }
 
@@ -173,9 +195,9 @@ func (k *Kernel) alloc() *event {
 }
 
 // release recycles a dispatched (or canceled-and-popped) event. The caller
-// must guarantee no live pointer to e remains: the kernel loop releases an
-// event only after it has been popped and its fields copied out, and procs
-// drop their pendingWake reference before the wake is delivered.
+// must guarantee no live pointer to e remains: the dispatch loop releases
+// an event only after it has been popped and its fields copied out, and
+// procs drop their pendingWake reference before the wake is delivered.
 func (k *Kernel) release(e *event) {
 	*e = event{}
 	k.free = append(k.free, e)
@@ -245,44 +267,111 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sim: proc %q panicked: %v", e.Proc, e.Value)
 }
 
+// loopStatus reports how a dispatch-loop invocation ended.
+type loopStatus int
+
+const (
+	// loopFinished: the heap drained, the limit was reached, or an error
+	// stopped dispatch. The calling goroutine still holds the baton and
+	// must hand it to the Run caller (via k.done) unless it is the Run
+	// caller.
+	loopFinished loopStatus = iota
+	// loopHandedOff: the baton was sent to another proc's goroutine; the
+	// caller must not touch kernel state again until it is next resumed.
+	loopHandedOff
+	// loopSelf: the next event resumes the calling proc itself — the
+	// zero-switch fast path. Only possible when self != nil.
+	loopSelf
+)
+
+// loop dispatches events in the calling goroutine until the baton leaves
+// it or the simulation cannot proceed. self is the proc whose goroutine is
+// running the loop (nil when the Run caller runs it); an event resuming
+// self short-circuits to loopSelf instead of a channel round-trip.
+func (k *Kernel) loop(self *Proc) (loopStatus, wakeKind) {
+	k.running = nil
+	for len(k.events) > 0 && k.err == nil && k.cbPanic == nil {
+		e := k.events.pop()
+		if e.canceled {
+			k.release(e)
+			continue
+		}
+		if e.t >= k.limit {
+			// Put it back for a future Run call and stop.
+			k.events.push(e)
+			k.now = k.limit
+			return loopFinished, 0
+		}
+		k.now = e.t
+		if e.fn != nil {
+			fn := e.fn
+			k.release(e)
+			fn()
+			continue
+		}
+		p, kind := e.proc, e.kind
+		k.release(e)
+		p.pendingWake = nil
+		k.running = p
+		if p == self {
+			return loopSelf, kind
+		}
+		p.wake <- kind
+		return loopHandedOff, 0
+	}
+	return loopFinished, 0
+}
+
+// runLoop is loop behind a panic firewall. A panic escaping an At callback
+// must not unwind into the proc body that happened to be running the loop:
+// it would run that proc's defers and be misattributed as a proc panic. It
+// is captured here and re-raised by Run in its caller's goroutine — the
+// same place it surfaced when a dedicated executive goroutine ran the loop.
+func (k *Kernel) runLoop(self *Proc) (st loopStatus, kind wakeKind) {
+	defer func() {
+		if r := recover(); r != nil {
+			if k.cbPanic == nil {
+				k.cbPanic = &callbackPanic{value: r, stack: string(debug.Stack())}
+			}
+			st, kind = loopFinished, 0
+		}
+	}()
+	return k.loop(self)
+}
+
 // Run executes events until the heap is empty or until (exclusive) limit.
 // Pass MaxTime to run to completion. It returns the first proc panic as a
 // *PanicError, or a *DeadlockError if procs remain blocked with no pending
 // events. On error the kernel aborts all live procs before returning so no
-// goroutines are leaked.
+// goroutines are leaked. A panic raised by an At callback aborts the procs
+// and is then re-raised in Run's caller.
 func (k *Kernel) Run(limit Time) error {
 	if k.inRun {
 		panic("sim: Run reentered")
 	}
 	k.inRun = true
 	defer func() { k.inRun = false }()
+	k.limit = limit
 
-	for len(k.events) > 0 && k.err == nil {
-		e := k.events.pop()
-		if e.canceled {
-			k.release(e)
-			continue
-		}
-		if e.t >= limit {
-			// Put it back for a future Run call and stop.
-			k.events.push(e)
-			k.now = limit
-			return nil
-		}
-		k.now = e.t
-		switch {
-		case e.fn != nil:
-			e.fn()
-			k.release(e)
-		case e.proc != nil:
-			p, kind := e.proc, e.kind
-			k.release(e)
-			k.resume(p, kind)
-		}
+	if st, _ := k.runLoop(nil); st == loopHandedOff {
+		// A proc goroutine carries the simulation now; wait for the baton
+		// to come back when dispatch can no longer proceed.
+		<-k.done
+	}
+	if cp := k.cbPanic; cp != nil {
+		// cbPanic stays set through abortAll so unwinding procs that
+		// re-enter the loop (via defers) finish immediately.
+		k.abortAll()
+		k.cbPanic = nil
+		panic(cp.value)
 	}
 	if k.err != nil {
 		k.abortAll()
 		return k.err
+	}
+	if len(k.events) > 0 {
+		// Stopped at the limit with events still pending.
+		return nil
 	}
 	if len(k.procs) > 0 {
 		names := make([]string, 0, len(k.procs))
@@ -298,17 +387,11 @@ func (k *Kernel) Run(limit Time) error {
 	return nil
 }
 
-// resume hands control to p until it blocks again or finishes.
-func (k *Kernel) resume(p *Proc, kind wakeKind) {
-	p.pendingWake = nil
-	k.running = p
-	p.wake <- kind
-	<-k.handoff
-	k.running = nil
-}
-
 // abortAll force-wakes every live proc with wakeAborted so their goroutines
-// unwind and exit.
+// unwind and exit. It runs in the Run caller's goroutine, which holds the
+// baton; each aborted proc hands it back through k.done when its unwind
+// completes. Callers must have k.err or k.cbPanic set so any dispatch loop
+// entered during unwind (e.g. by a proc defer) stops immediately.
 func (k *Kernel) abortAll() {
 	for len(k.procs) > 0 {
 		var p *Proc
@@ -324,12 +407,17 @@ func (k *Kernel) abortAll() {
 		if p.queue != nil {
 			p.queue.remove(p)
 		}
-		k.resume(p, wakeAborted)
+		k.running = p
+		p.wake <- wakeAborted
+		<-k.done
+		k.running = nil
 	}
-	// Drain remaining events so a subsequent Run doesn't fire callbacks of a
-	// dead simulation.
+	// Drain remaining events so a subsequent Run doesn't fire callbacks of
+	// a dead simulation. The pops leave len(k.events) == 0 while keeping
+	// the heap's backing array and the freelist, so a kernel reused after
+	// an error schedules allocation-free again instead of regrowing both
+	// from scratch.
 	for len(k.events) > 0 {
 		k.release(k.events.pop())
 	}
-	k.events = nil
 }

@@ -489,6 +489,165 @@ func TestPropertyMonotonicClock(t *testing.T) {
 	}
 }
 
+func TestRunLimitMidSleepResumes(t *testing.T) {
+	// A Run stopping at the limit parks sleeping procs (their goroutines
+	// wait on the wake channel); a later Run must resume them on the same
+	// timeline.
+	k := NewKernel()
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	if err := k.Run(Time(2e9)); err != nil {
+		t.Fatalf("bounded run: %v", err)
+	}
+	if k.Now() != Time(2e9) {
+		t.Fatalf("now = %v, want 2s", k.Now())
+	}
+	if woke != 0 {
+		t.Fatal("proc woke before its timer")
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if woke != Time(5e9) {
+		t.Fatalf("woke at %v, want 5s", woke)
+	}
+}
+
+func TestCallbackPanicPropagatesAndAborts(t *testing.T) {
+	// A panic escaping an At callback must re-raise from Run with the
+	// original value no matter which goroutine ran the dispatch loop, and
+	// must not be misattributed to the proc whose goroutine was running
+	// the loop — nor run that proc's deferred functions.
+	k := NewKernel()
+	q := k.NewQueue("q")
+	deferRan := false
+	k.Spawn("bystander", func(p *Proc) {
+		defer func() { deferRan = true }()
+		p.Sleep(time.Second) // ensures a proc goroutine holds the baton
+		q.Wait(p)
+	})
+	k.At(Time(2e9), func() { panic("cb-boom") })
+	func() {
+		defer func() {
+			if r := recover(); r != "cb-boom" {
+				t.Fatalf("Run panic = %v, want cb-boom", r)
+			}
+		}()
+		_ = k.Run(MaxTime)
+		t.Fatal("Run returned instead of panicking")
+	}()
+	if len(k.procs) != 0 {
+		t.Fatalf("%d procs still live after callback panic", len(k.procs))
+	}
+	if !deferRan {
+		t.Fatal("bystander's defer must run during the abort unwind")
+	}
+	if k.Err() != nil {
+		t.Fatalf("callback panic must not be misattributed as a proc panic, got %v", k.Err())
+	}
+}
+
+func TestKernelReusableAfterAbortKeepsCapacity(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *Proc) { q.Wait(p) })
+	}
+	k.At(Time(1e9), func() {}) // leaves events pending at abort time
+	k.At(Time(2e9), func() {})
+	k.Spawn("boom", func(p *Proc) { panic("x") })
+	if err := k.Run(MaxTime); err == nil {
+		t.Fatal("expected error")
+	}
+	if cap(k.events) == 0 {
+		t.Fatal("abort discarded the event heap's backing array")
+	}
+	if len(k.free) == 0 {
+		t.Fatal("abort discarded the event freelist")
+	}
+}
+
+func TestQueueRingWraparound(t *testing.T) {
+	// Waiters cycling through the queue force the ring's head past the
+	// buffer boundary; FIFO order must survive the wrap.
+	k := NewKernel()
+	q := k.NewQueue("q")
+	var order []string
+	const rounds = 3
+	mk := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				q.Wait(p)
+				order = append(order, name)
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	mk("c")
+	at := Time(0)
+	for i := 0; i < 3*rounds; i++ {
+		at = at.Add(time.Second)
+		k.At(at, func() { q.Signal() })
+	}
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO violated across ring wrap: %v", order)
+		}
+	}
+}
+
+func TestQueueRemoveMiddlePreservesFIFO(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q")
+	var order []string
+	var w1 *Proc
+	mk := func(name string, interruptible bool) *Proc {
+		return k.Spawn(name, func(p *Proc) {
+			if interruptible {
+				if err := q.WaitInterruptible(p); err != nil {
+					return // interrupted: drop out without recording
+				}
+			} else {
+				q.Wait(p)
+			}
+			order = append(order, name)
+		})
+	}
+	mk("w0", false)
+	w1 = mk("w1", true)
+	mk("w2", false)
+	mk("w3", false)
+	k.At(Time(1e9), func() {
+		w1.Interrupt() // removes w1 from the middle of the ring
+		q.Signal()
+		q.Signal()
+		q.Signal()
+	})
+	if err := k.Run(MaxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []string{"w0", "w2", "w3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order after middle removal = %v", order)
+		}
+	}
+}
+
 func TestAbortLeavesNoGoroutines(t *testing.T) {
 	// After an error, Run must unwind all proc goroutines; re-running the
 	// kernel is a no-op rather than a hang.
