@@ -8,9 +8,13 @@
 //
 //	go run ./cmd/benchjson -out bench.json
 //	go run ./cmd/benchjson -baseline old.json -out BENCH_7.json
+//	go run ./cmd/benchjson -baseline old.json -fail-under 0.8 -out -   # CI gate
 //
 // With -baseline, each benchmark is emitted as {before, after, speedup}
 // where speedup is baseline ns/op divided by current ns/op (>1 = faster).
+// Adding -fail-under makes the run a regression gate: after writing the
+// report it exits non-zero if any compared benchmark's speedup is below
+// the threshold.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -63,7 +68,14 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "bench.json", "output path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "prior benchjson output; emit before/after/speedup against it")
+	failUnder := flag.Float64("fail-under", 0, "with -baseline: exit non-zero when any compared benchmark's speedup falls below this ratio (e.g. 0.9 = tolerate a 10% regression; 0 = never fail)")
 	flag.Parse()
+	if *failUnder < 0 {
+		fatalf("invalid -fail-under %v: want >= 0", *failUnder)
+	}
+	if *failUnder > 0 && *baseline == "" {
+		fatalf("-fail-under requires -baseline: there is no speedup without a before")
+	}
 
 	rep := &Report{Benchtime: *benchtime, Count: *count, Benchmarks: map[string]Result{}}
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -80,12 +92,14 @@ func main() {
 	}
 
 	var payload any = rep
+	var compared *Report
 	if *baseline != "" {
 		base, err := readReport(*baseline)
 		if err != nil {
 			fatalf("baseline: %v", err)
 		}
-		payload = compare(base, rep)
+		compared = compare(base, rep)
+		payload = compared
 	}
 	buf, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
@@ -94,12 +108,33 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("write: %v", err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatalf("write: %v", err)
+	// The gate runs after the report is written, so a failing run still
+	// leaves the numbers on disk for inspection.
+	if *failUnder > 0 {
+		if slow := regressions(compared, *failUnder); len(slow) > 0 {
+			fatalf("speedup below %v for: %s", *failUnder, strings.Join(slow, ", "))
+		}
 	}
-	fmt.Printf("wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// regressions lists compared benchmarks whose speedup is below the
+// threshold, sorted for stable output. Benchmarks without a baseline
+// entry have no speedup and cannot regress.
+func regressions(rep *Report, threshold float64) []string {
+	var slow []string
+	for name, c := range rep.Compared {
+		if c.Speedup > 0 && c.Speedup < threshold {
+			slow = append(slow, fmt.Sprintf("%s (%.3fx)", name, c.Speedup))
+		}
+	}
+	sort.Strings(slow)
+	return slow
 }
 
 // parse fills rep from go test -bench output, keeping the fastest ns/op

@@ -41,7 +41,7 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 15*time.Minute, "clamp on client-requested deadlines")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
-	cacheEntries := flag.Int("cache-entries", runner.DefaultMaxEntries, "memo-cache bound in entries (LRU eviction beyond it; < 0 = unbounded)")
+	cacheEntries := flag.Int("cache-entries", runner.DefaultMaxEntries, "memo-cache bound in entries (LRU eviction beyond it)")
 	errorTTL := flag.Duration("error-cache-ttl", 0, "how long failed cells are negative-cached (0 = failures are never memoized)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent memo-cache snapshot, loaded at startup and written on graceful drain (empty = in-memory only)")
 	flag.Parse()
@@ -52,6 +52,14 @@ func main() {
 	}
 	if *queue <= 0 {
 		fmt.Fprintf(os.Stderr, "dvsd: invalid -queue %d: want > 0\n\n", *queue)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cacheEntries < 0 {
+		// The library accepts negative as "unbounded" for in-process
+		// sweeps; a long-lived daemon must not, it is a slow memory leak.
+		fmt.Fprintf(os.Stderr, "dvsd: invalid -cache-entries %d: want >= 0 (0 = default %d)\n\n",
+			*cacheEntries, runner.DefaultMaxEntries)
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,622 @@
+// Package fleet is the scale-out layer over dvsd: a gateway that fans a
+// sweep's cells across a pool of dvsd backends and merges the results
+// back into the service's streaming NDJSON contract.
+//
+// The unit of distribution is one sweep cell, forwarded as an ordinary
+// POST /simulate body — the cell-level wire contract — so any dvsd
+// instance is a valid backend with no fleet-specific endpoint. Placement
+// is a consistent hash of the cell's content-addressed cache key onto
+// the backend ring: a repeated cell lands on the backend whose memo
+// cache (LRU and persistent snapshot alike) already holds it, so the
+// fleet's aggregate hit rate approaches a single warm node's instead of
+// decaying with 1/N random placement.
+//
+// Failure handling is a degradation ladder, each rung preserving the
+// client contract of the rung above:
+//
+//  1. route   — the cell's home backend on the ring
+//  2. retry   — bounded attempts with exponential backoff + jitter,
+//               failing over along the ring; backend 429s are treated
+//               as backpressure (wait, don't burn an attempt)
+//  3. hedge   — optionally, a duplicate request to the next backend
+//               when the home one is a straggler; first answer wins
+//  4. local   — in-process execution on the gateway's own runner, so a
+//               gateway with zero live backends degrades to exactly
+//               today's single-node dvsd behaviour instead of failing
+//
+// Liveness is probed (GET /healthz per backend on an interval) with
+// ejection after consecutive failures and re-admission on the next
+// successful probe; data-path failures feed the same counter so a
+// backend that dies mid-sweep is ejected by the cells it broke.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Peers are the backend base URLs (e.g. "http://10.0.0.7:8377").
+	// Membership is fixed for the gateway's lifetime; liveness within the
+	// set is probed.
+	Peers []string
+	// Local executes last-resort fallback cells in-process; nil builds a
+	// default runner.
+	Local *runner.Runner
+	// Client issues backend requests; nil builds one with a transport
+	// sized for per-cell fan-out.
+	Client *http.Client
+
+	// MaxInflight bounds concurrently admitted gateway requests (shed
+	// with 429 beyond it). Default 8.
+	MaxInflight int
+	// MaxJobs bounds the cells of a single sweep request. Default 4096.
+	MaxJobs int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Default 2 minutes. MaxTimeout clamps client-requested timeouts
+	// (default 15 minutes); RetryAfter is the backoff hint on gateway
+	// 429s (default 1s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	RetryAfter     time.Duration
+
+	// Fanout bounds concurrently in-flight cells per sweep. Default 16.
+	Fanout int
+	// MaxAttempts bounds forwarding attempts per cell (first try
+	// included). Default 3.
+	MaxAttempts int
+	// Backoff is the base retry delay; attempt n waits Backoff·2ⁿ⁻¹ plus
+	// up to 50% jitter. Default 50ms.
+	Backoff time.Duration
+	// HedgeAfter launches a duplicate request to the next backend on the
+	// ring when the home backend hasn't answered within this delay; the
+	// first answer wins. 0 disables hedging.
+	HedgeAfter time.Duration
+
+	// ProbeInterval is the health-check period (default 2s); ProbeTimeout
+	// bounds one probe (default 1s); FailAfter is the consecutive-failure
+	// count that ejects a backend (default 2).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailAfter     int
+	// Replicas is the virtual-node count per backend on the hash ring.
+	// Default 64.
+	Replicas int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Local == nil {
+		o.Local = runner.New(0)
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 8
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 15 * time.Minute
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = 16
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 64
+	}
+	return o
+}
+
+// Gateway is the fleet front end. It exposes the same HTTP surface as a
+// single dvsd backend — POST /simulate, POST /sweep, GET /healthz,
+// GET /metrics — so clients (and load balancers) cannot tell the
+// difference, except for throughput.
+type Gateway struct {
+	opts  Options
+	pool  *Pool
+	local *runner.Runner
+	gate  chan struct{}
+	met   *gwMetrics
+	mux   *http.ServeMux
+
+	mu sync.Mutex
+	hs *http.Server
+}
+
+// New builds a gateway over at least one peer.
+func New(opts Options) (*Gateway, error) {
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("fleet: no peers")
+	}
+	opts = opts.withDefaults()
+	g := &Gateway{
+		opts:  opts,
+		pool:  newPool(opts.Peers, opts.Replicas, opts.FailAfter, opts.ProbeTimeout, opts.Client),
+		local: opts.Local,
+		gate:  make(chan struct{}, opts.MaxInflight),
+		met:   newGwMetrics(),
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/simulate", g.instrument("/simulate", g.handleSimulate))
+	g.mux.HandleFunc("/sweep", g.instrument("/sweep", g.handleSweep))
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	return g, nil
+}
+
+// Handler returns the routed handler, for embedding and httptest.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Pool exposes the backend pool (probe state, for status printing).
+func (g *Gateway) Pool() *Pool { return g.pool }
+
+// Start launches the health-probe loop: one synchronous round, then one
+// per ProbeInterval. Serve calls it; call it directly when using
+// Handler with an external listener.
+func (g *Gateway) Start() { g.pool.start(g.opts.ProbeInterval) }
+
+// ListenAndServe serves on addr until Shutdown; a clean shutdown returns
+// nil.
+func (g *Gateway) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return g.Serve(ln)
+}
+
+// Serve starts probing and serves on ln until Shutdown.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.Start()
+	hs := &http.Server{Handler: g.mux, ReadHeaderTimeout: 10 * time.Second}
+	g.mu.Lock()
+	g.hs = hs
+	g.mu.Unlock()
+	err := hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops probing and the listener, draining in-flight requests
+// (including streaming sweeps) until they finish or ctx expires.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.pool.stopClose()
+	g.mu.Lock()
+	hs := g.hs
+	g.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// statusWriter captures the response status for metrics and forwards
+// Flush so NDJSON streaming survives the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (g *Gateway) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		g.met.record(path, sw.status)
+	}
+}
+
+func (g *Gateway) tryAcquire() bool {
+	select {
+	case g.gate <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *Gateway) release() { <-g.gate }
+
+// timeoutFor resolves a request's timeout_ms against gateway bounds.
+func (g *Gateway) timeoutFor(ms float64) time.Duration {
+	if ms <= 0 {
+		return g.opts.DefaultTimeout
+	}
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d > g.opts.MaxTimeout {
+		return g.opts.MaxTimeout
+	}
+	return d
+}
+
+func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		server.MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req server.SimulateRequest
+	if ae := server.DecodeBody(r, &req); ae != nil {
+		server.WriteError(w, ae)
+		return
+	}
+	cell, err := req.JobSpec.Cell()
+	if err != nil {
+		server.WriteError(w, server.InField(err, ""))
+		return
+	}
+	if !g.tryAcquire() {
+		server.WriteError(w, server.QueueFull(g.opts.RetryAfter))
+		return
+	}
+	defer g.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	resp, ae := g.runCell(ctx, cell)
+	if ae != nil {
+		server.WriteError(w, ae)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		server.MethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req server.SweepRequest
+	if ae := server.DecodeBody(r, &req); ae != nil {
+		server.WriteError(w, ae)
+		return
+	}
+	cells, err := req.Cells(g.opts.MaxJobs)
+	if err != nil {
+		server.WriteError(w, server.InField(err, ""))
+		return
+	}
+	if !g.tryAcquire() {
+		server.WriteError(w, server.QueueFull(g.opts.RetryAfter))
+		return
+	}
+	defer g.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	// Same stream contract as a single backend: status 200 commits
+	// before results exist, one record per cell in completion order,
+	// per-cell failures in-band, then the done trailer.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var emitMu sync.Mutex
+	var cached, failed int
+	emit := func(rec server.SweepRecord) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if rec.Error != nil {
+			failed++
+		} else if rec.Cached {
+			cached++
+		}
+		_ = enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	workers := g.opts.Fanout
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				resp, ae := g.runCell(ctx, cells[i])
+				if ae != nil {
+					emit(server.SweepRecord{Index: i, Error: ae})
+					continue
+				}
+				res := resp.Result
+				emit(server.SweepRecord{Index: i, Cached: resp.Cached, Result: &res})
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	_ = enc.Encode(server.SweepTrailer{Done: true, Jobs: len(cells), CachedCells: cached, Errors: failed})
+	g.met.addCells(len(cells))
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		server.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	// The gateway is healthy even with zero live backends — the local
+	// fallback still serves — so status stays "ok" and the live count
+	// carries the fleet's actual state.
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"backends_live\":%d,\"backends_total\":%d,\"queue_depth\":%d,\"queue_capacity\":%d}\n",
+		g.pool.live(), len(g.pool.backends), len(g.gate), cap(g.gate))
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		server.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.met.render(w, g.pool, len(g.gate), cap(g.gate))
+}
+
+// fwdResult is one forwarding attempt's classification.
+type fwdResult struct {
+	ok        bool                    // resp is valid
+	resp      server.SimulateResponse // when ok
+	ae        *server.APIError        // terminal: relay to the client as-is
+	retry     bool                    // failed, but another backend may succeed
+	transport bool                    // never got a usable HTTP response
+	shed      bool                    // backend 429: backpressure, wait and re-ask
+	waitHint  time.Duration           // from the shed envelope's retry_after_ms
+}
+
+// forward POSTs one cell to one backend and classifies the outcome.
+// Context cancellation is never charged to the backend: our deadline
+// expiring (or a hedge race being lost) is not evidence the backend is
+// down.
+func (g *Gateway) forward(ctx context.Context, b *backend, body []byte) fwdResult {
+	b.requests.Add(1)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/simulate", bytes.NewReader(body))
+	if err != nil {
+		return fwdResult{retry: true, transport: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.opts.Client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fwdResult{retry: true, transport: true}
+		}
+		b.failures.Add(1)
+		b.markFailure(g.pool.failAfter)
+		return fwdResult{retry: true, transport: true}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		if ctx.Err() == nil {
+			b.failures.Add(1)
+			b.markFailure(g.pool.failAfter)
+		}
+		return fwdResult{retry: true, transport: true}
+	}
+	if resp.StatusCode == http.StatusOK {
+		var sr server.SimulateResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			b.failures.Add(1)
+			b.markFailure(g.pool.failAfter)
+			return fwdResult{retry: true}
+		}
+		b.markSuccess()
+		b.lat.observe(time.Since(start))
+		return fwdResult{ok: true, resp: sr}
+	}
+	var env struct {
+		Error *server.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
+		// Not our wire format — a crashed backend, a proxy error page.
+		b.failures.Add(1)
+		b.markFailure(g.pool.failAfter)
+		return fwdResult{retry: true}
+	}
+	// A typed rejection proves the backend is alive and talking.
+	b.markSuccess()
+	if env.Error.Code == server.CodeQueueFull {
+		return fwdResult{shed: true,
+			waitHint: time.Duration(env.Error.RetryAfterMS) * time.Millisecond}
+	}
+	// Deterministic rejections (invalid spec — which local validation
+	// should have caught — sim_failed, deadline) recur on any backend:
+	// relay, don't retry.
+	return fwdResult{ae: env.Error}
+}
+
+// sleepCtx waits d or until ctx is done; false means ctx won.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// backoff is the delay before retry number n (1-based): Backoff·2ⁿ⁻¹
+// capped at 5s, plus up to 50% jitter so a fleet-wide failure does not
+// resynchronize every cell's retry.
+func (g *Gateway) backoff(n int) time.Duration {
+	d := g.opts.Backoff << (n - 1)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// runCell resolves one cell through the degradation ladder: route to the
+// ring's home backend, fail over with bounded backoff retries, hedge the
+// first attempt if configured, and finally fall back to in-process
+// execution when no backend could serve it.
+func (g *Gateway) runCell(ctx context.Context, c server.Cell) (server.SimulateResponse, *server.APIError) {
+	body, err := json.Marshal(c.Spec)
+	if err != nil { // cells are built from decoded JSON; cannot recur
+		return server.SimulateResponse{}, server.Errf(http.StatusInternalServerError,
+			server.CodeSimFailed, "", "encode cell: %v", err)
+	}
+	failedAttempts := 0
+	for {
+		if ctx.Err() != nil {
+			return server.SimulateResponse{}, server.OutcomeError(ctx.Err())
+		}
+		if failedAttempts >= g.opts.MaxAttempts {
+			break
+		}
+		// Re-read liveness every attempt so mid-cell ejections and
+		// re-admissions take effect immediately.
+		prefs := g.pool.order(c.Key)
+		if len(prefs) == 0 {
+			break
+		}
+		b := prefs[failedAttempts%len(prefs)]
+		var res fwdResult
+		if failedAttempts == 0 && g.opts.HedgeAfter > 0 && len(prefs) > 1 {
+			res = g.forwardHedged(ctx, b, prefs[1], body)
+		} else {
+			res = g.forward(ctx, b, body)
+		}
+		switch {
+		case res.ok:
+			return res.resp, nil
+		case res.ae != nil:
+			return server.SimulateResponse{}, res.ae
+		case res.shed:
+			// Backpressure, not failure: the backend asked us to come
+			// back. Waiting is bounded by the request deadline, not the
+			// attempt budget.
+			g.met.shedWait.Add(1)
+			wait := res.waitHint
+			if wait <= 0 {
+				wait = g.backoff(1)
+			}
+			sleepCtx(ctx, wait)
+		default:
+			failedAttempts++
+			if failedAttempts < g.opts.MaxAttempts {
+				g.met.retried.Add(1)
+				sleepCtx(ctx, g.backoff(failedAttempts))
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return server.SimulateResponse{}, server.OutcomeError(ctx.Err())
+	}
+	// Degradation floor: no backend could serve the cell — zero live, or
+	// the attempt budget burned down — so run it here, exactly as a
+	// single-node dvsd would.
+	g.met.local.Add(1)
+	out := g.local.Do(ctx, c.Job)
+	if out.Err != nil {
+		return server.SimulateResponse{}, server.OutcomeError(out.Err)
+	}
+	return server.SimulateResponse{Cached: out.Cached, Result: server.ToResultJSON(out.Result)}, nil
+}
+
+// forwardHedged races the home backend against a delayed duplicate on
+// the failover target: the first decisive answer (success or terminal
+// rejection) wins and the loser's request is cancelled. Indecisive
+// results (both retryable) surface the primary's, so the caller's retry
+// ladder proceeds as if unhedged.
+func (g *Gateway) forwardHedged(ctx context.Context, primary, secondary *backend, body []byte) fwdResult {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan fwdResult, 2)
+	go func() { ch <- g.forward(hctx, primary, body) }()
+	t := time.NewTimer(g.opts.HedgeAfter)
+	defer t.Stop()
+	timerC := t.C
+	launched, received := 1, 0
+	var first fwdResult
+	for {
+		select {
+		case res := <-ch:
+			received++
+			if res.ok || res.ae != nil {
+				return res
+			}
+			if received == 1 {
+				first = res
+			}
+			if received == launched {
+				if launched == 1 {
+					// Primary failed before the hedge delay: no point
+					// hedging now, the retry ladder handles failover.
+					return res
+				}
+				return first
+			}
+		case <-timerC:
+			timerC = nil
+			launched = 2
+			g.met.hedged.Add(1)
+			go func() { ch <- g.forward(hctx, secondary, body) }()
+		}
+	}
+}

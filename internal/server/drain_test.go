@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// TestDrainMidStreamSweep pins the graceful-drain contract at its
+// hardest point: shutdown is requested while a streaming /sweep is
+// provably mid-flight — the client has already consumed the first NDJSON
+// record, and a serial runner guarantees later cells haven't run yet.
+// This is exactly what SIGTERM triggers in the daemon (signal → Shutdown
+// with a drain budget): every remaining cell and the done trailer must
+// still be delivered, and Shutdown must not return until they are.
+func TestDrainMidStreamSweep(t *testing.T) {
+	// One worker serializes cells, so after record one arrives the other
+	// five are still queued behind the stream.
+	s := testServer(t, Options{Runner: runner.New(1)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+
+	body := `{"workloads":[{"code":"FT","class":"S","ranks":2},{"code":"MG","class":"S","ranks":2}],
+	          "strategies":[{"kind":"nodvs"},{"kind":"external","freq_mhz":600},{"kind":"daemon"}]}`
+	resp, err := http.Post("http://"+ln.Addr().String()+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+
+	// Read exactly one record: the stream is now demonstrably mid-flight.
+	br := bufio.NewReader(resp.Body)
+	firstLine, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	var first rawRecord
+	if err := json.Unmarshal(firstLine, &first); err != nil {
+		t.Fatalf("first record not JSON: %v\n%s", err, firstLine)
+	}
+	if first.Done || first.Error != nil {
+		t.Fatalf("first line is not a healthy cell record: %s", firstLine)
+	}
+
+	// SIGTERM's path: Shutdown with a drain budget, concurrent with the
+	// still-streaming response.
+	shut := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shut <- s.Shutdown(sctx)
+	}()
+
+	// The listener must close promptly even though the stream is live:
+	// new connections are refused while the drain runs.
+	refusedBy := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("listener still accepting during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drain the rest of the stream. Every one of the 6 cells and the
+	// trailer must arrive despite the shutdown.
+	var rest bytes.Buffer
+	rest.Write(firstLine)
+	if _, err := rest.ReadFrom(br); err != nil {
+		t.Fatalf("stream truncated by shutdown: %v", err)
+	}
+	recs, trailer := parseNDJSON(t, &rest)
+	if trailer.Jobs != 6 || trailer.Errors != 0 {
+		t.Fatalf("trailer=%+v, want jobs=6 errors=0", trailer)
+	}
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if r.Error != nil {
+			t.Fatalf("cell %d failed during drain: %+v", r.Index, r.Error)
+		}
+		if seen[r.Index] {
+			t.Fatalf("cell %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+	for i := 0; i < 6; i++ {
+		if !seen[i] {
+			t.Fatalf("cell %d dropped by drain (got %v)", i, seen)
+		}
+	}
+
+	if err := <-shut; err != nil {
+		t.Fatalf("shutdown returned %v with the stream fully delivered", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve returned %v after clean shutdown", err)
+	}
+}

@@ -28,10 +28,10 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
 )
 
-// apiError is a typed, client-dispatchable request failure. It implements
+// APIError is a typed, client-dispatchable request failure. It implements
 // error so spec builders can return it through ordinary error plumbing;
 // the handlers unwrap it to pick the HTTP status.
-type apiError struct {
+type APIError struct {
 	status  int    // HTTP status; not serialized
 	Code    string `json:"code"`
 	Message string `json:"message"`
@@ -43,28 +43,28 @@ type apiError struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-func (e *apiError) Error() string {
+func (e *APIError) Error() string {
 	if e.Field != "" {
 		return fmt.Sprintf("%s: %s: %s", e.Code, e.Field, e.Message)
 	}
 	return fmt.Sprintf("%s: %s", e.Code, e.Message)
 }
 
-// errf builds a typed error with a formatted message.
-func errf(status int, code, field, format string, args ...any) *apiError {
-	return &apiError{status: status, Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+// Errf builds a typed error with a formatted message.
+func Errf(status int, code, field, format string, args ...any) *APIError {
+	return &APIError{status: status, Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
 }
 
 // badField is the common 400 constructor used by the spec builders.
-func badField(code, field, format string, args ...any) *apiError {
-	return errf(http.StatusBadRequest, code, field, format, args...)
+func badField(code, field, format string, args ...any) *APIError {
+	return Errf(http.StatusBadRequest, code, field, format, args...)
 }
 
 // specErr translates a registry decode rejection (a *spec.Error whose
 // field path is relative to the object being decoded) into the service's
 // typed 400, rooted under the given object path ("workload", "strategy").
 // Non-registry errors blame the whole object.
-func specErr(err error, code, root string) *apiError {
+func specErr(err error, code, root string) *APIError {
 	var se *spec.Error
 	if errors.As(err, &se) {
 		field := root
@@ -76,11 +76,11 @@ func specErr(err error, code, root string) *apiError {
 	return badField(code, root, "%v", err)
 }
 
-// inField re-roots a spec builder's error under a parent field path, so
+// InField re-roots a spec builder's error under a parent field path, so
 // sweep expansion can report "jobs[3].strategy.kind" rather than
-// "strategy.kind". Non-apiError errors are wrapped as bad_request.
-func inField(err error, parent string) *apiError {
-	if ae, ok := err.(*apiError); ok {
+// "strategy.kind". Non-APIError errors are wrapped as bad_request.
+func InField(err error, parent string) *APIError {
+	if ae, ok := err.(*APIError); ok {
 		e := *ae
 		switch {
 		case parent == "":
@@ -95,23 +95,51 @@ func inField(err error, parent string) *apiError {
 	return badField(CodeBadRequest, parent, "%v", err)
 }
 
-// queueFull builds the 429 shed response.
-func queueFull(retryAfter time.Duration) *apiError {
-	e := errf(http.StatusTooManyRequests, CodeQueueFull, "",
+// HTTPStatus returns the status WriteError renders the error with. The
+// in-process constructors carry an explicit status; an APIError decoded
+// back off the wire (the fleet gateway relaying a backend rejection) has
+// lost it — not serialized — so the code maps back to its status.
+func (e *APIError) HTTPStatus() int {
+	if e.status != 0 {
+		return e.status
+	}
+	switch e.Code {
+	case CodeTooManyJobs:
+		return statusTooLarge
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return statusClientClosed
+	case CodeSimFailed:
+		return http.StatusInternalServerError
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeBadRequest, CodeInvalidWorkload, CodeInvalidStrategy,
+		CodeInvalidConfig, CodeInvalidSweep:
+		return http.StatusBadRequest
+	}
+	return http.StatusBadGateway
+}
+
+// QueueFull builds the 429 shed response.
+func QueueFull(retryAfter time.Duration) *APIError {
+	e := Errf(http.StatusTooManyRequests, CodeQueueFull, "",
 		"admission queue is full; retry after %s", retryAfter)
 	e.RetryAfterMS = retryAfter.Milliseconds()
 	return e
 }
 
-// writeError renders a typed error as the JSON error envelope, setting
+// WriteError renders a typed error as the JSON error envelope, setting
 // Retry-After on 429s so well-behaved clients back off without parsing
 // the body.
-func writeError(w http.ResponseWriter, err *apiError) {
+func WriteError(w http.ResponseWriter, err *APIError) {
 	w.Header().Set("Content-Type", "application/json")
-	if err.status == http.StatusTooManyRequests && err.RetryAfterMS > 0 {
+	if err.HTTPStatus() == http.StatusTooManyRequests && err.RetryAfterMS > 0 {
 		secs := (err.RetryAfterMS + 999) / 1000
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	w.WriteHeader(err.status)
-	_ = json.NewEncoder(w).Encode(map[string]*apiError{"error": err})
+	w.WriteHeader(err.HTTPStatus())
+	_ = json.NewEncoder(w).Encode(map[string]*APIError{"error": err})
 }

@@ -37,7 +37,7 @@ var fuzzSeeds = []string{
 // /simulate body and the /sweep body — asserting the decode surface never
 // panics and that every rejection it produces is the service's typed
 // error carrying a field path (the registry rejections must survive the
-// translation into apiError with their paths intact).
+// translation into APIError with their paths intact).
 func FuzzDecodeSpec(f *testing.F) {
 	for _, seed := range fuzzSeeds {
 		f.Add([]byte(seed))
@@ -47,9 +47,9 @@ func FuzzDecodeSpec(f *testing.F) {
 			if err == nil {
 				return
 			}
-			ae, ok := err.(*apiError)
+			ae, ok := err.(*APIError)
 			if !ok {
-				t.Fatalf("decode error %T is not the typed apiError: %v", err, err)
+				t.Fatalf("decode error %T is not the typed APIError: %v", err, err)
 			}
 			if ae.Field == "" {
 				t.Fatalf("decode rejection carries no field path: %v", ae)

@@ -9,11 +9,11 @@ import (
 	"repro/internal/runner"
 )
 
-// resultJSON is the wire form of one simulation's measurements: the
+// ResultJSON is the wire form of one simulation's measurements: the
 // summary figures the paper's tables are built from, not the full
 // per-node traces (those stay library-side — a service response should
 // be O(ranks)-free).
-type resultJSON struct {
+type ResultJSON struct {
 	Name              string  `json:"name"`
 	Strategy          string  `json:"strategy"`
 	ElapsedSec        float64 `json:"elapsed_sec"`
@@ -28,8 +28,8 @@ type resultJSON struct {
 	NetBytes          int64   `json:"net_bytes"`
 }
 
-func toResultJSON(r core.Result) resultJSON {
-	return resultJSON{
+func ToResultJSON(r core.Result) ResultJSON {
+	return ResultJSON{
 		Name:              r.Name,
 		Strategy:          r.Strategy,
 		ElapsedSec:        r.Elapsed.Seconds(),
@@ -45,25 +45,25 @@ func toResultJSON(r core.Result) resultJSON {
 	}
 }
 
-// simulateResponse is the POST /simulate success body.
-type simulateResponse struct {
+// SimulateResponse is the POST /simulate success body.
+type SimulateResponse struct {
 	Cached bool       `json:"cached"`
-	Result resultJSON `json:"result"`
+	Result ResultJSON `json:"result"`
 }
 
-// sweepRecord is one NDJSON line of a POST /sweep stream: either a
+// SweepRecord is one NDJSON line of a POST /sweep stream: either a
 // completed cell (result set) or a failed one (error set), identified by
 // its submission index. Records arrive in completion order.
-type sweepRecord struct {
+type SweepRecord struct {
 	Index  int         `json:"index"`
 	Cached bool        `json:"cached,omitempty"`
-	Result *resultJSON `json:"result,omitempty"`
-	Error  *apiError   `json:"error,omitempty"`
+	Result *ResultJSON `json:"result,omitempty"`
+	Error  *APIError   `json:"error,omitempty"`
 }
 
-// sweepTrailer is the final NDJSON line, confirming the stream is
+// SweepTrailer is the final NDJSON line, confirming the stream is
 // complete (a client that doesn't see it knows the stream was truncated).
-type sweepTrailer struct {
+type SweepTrailer struct {
 	Done bool `json:"done"`
 	Jobs int  `json:"jobs"`
 	// CachedCells/Errors count this sweep's cache-served and failed
@@ -74,18 +74,18 @@ type sweepTrailer struct {
 	Errors      int `json:"errors"`
 }
 
-// outcomeError maps a job outcome's failure to a typed error. Context
+// OutcomeError maps a job outcome's failure to a typed error. Context
 // errors become deadline_exceeded/canceled; anything else is a
 // simulation failure.
-func outcomeError(err error) *apiError {
+func OutcomeError(err error) *APIError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return errf(http.StatusGatewayTimeout, CodeDeadlineExceeded, "",
+		return Errf(http.StatusGatewayTimeout, CodeDeadlineExceeded, "",
 			"request deadline expired before the simulation ran")
 	case errors.Is(err, context.Canceled):
-		return errf(statusClientClosed, CodeCanceled, "", "request canceled")
+		return Errf(statusClientClosed, CodeCanceled, "", "request canceled")
 	default:
-		return errf(http.StatusInternalServerError, CodeSimFailed, "", "%v", err)
+		return Errf(http.StatusInternalServerError, CodeSimFailed, "", "%v", err)
 	}
 }
 
@@ -94,11 +94,13 @@ func outcomeError(err error) *apiError {
 // is no longer reading.
 const statusClientClosed = 499
 
-// record builds the NDJSON line for one outcome.
-func record(i int, o runner.Outcome) sweepRecord {
+// Record builds the NDJSON line for one outcome. It is exported for the
+// fleet gateway, whose local-fallback cells go through the same encoder
+// as a backend's own sweep stream.
+func Record(i int, o runner.Outcome) SweepRecord {
 	if o.Err != nil {
-		return sweepRecord{Index: i, Error: outcomeError(o.Err)}
+		return SweepRecord{Index: i, Error: OutcomeError(o.Err)}
 	}
-	r := toResultJSON(o.Result)
-	return sweepRecord{Index: i, Cached: o.Cached, Result: &r}
+	r := ToResultJSON(o.Result)
+	return SweepRecord{Index: i, Cached: o.Cached, Result: &r}
 }

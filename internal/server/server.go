@@ -176,10 +176,11 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// decode strictly parses a JSON body into v; unknown fields are typed
+// DecodeBody strictly parses a JSON body into v; unknown fields are typed
 // errors, not silently dropped — a misspelled knob must not run a
-// default-configured simulation.
-func decode(r *http.Request, v any) *apiError {
+// default-configured simulation. Exported so the fleet gateway applies
+// the identical trust boundary before fanning cells out.
+func DecodeBody(r *http.Request, v any) *APIError {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -200,28 +201,29 @@ func (s *Server) timeoutFor(ms float64) time.Duration {
 	return d
 }
 
-func methodNotAllowed(w http.ResponseWriter, method string) {
-	writeError(w, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "",
+// MethodNotAllowed renders the typed 405 naming the verb to use.
+func MethodNotAllowed(w http.ResponseWriter, method string) {
+	WriteError(w, Errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "",
 		"use %s", method))
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		methodNotAllowed(w, http.MethodPost)
+		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req SimulateRequest
-	if ae := decode(r, &req); ae != nil {
-		writeError(w, ae)
+	if ae := DecodeBody(r, &req); ae != nil {
+		WriteError(w, ae)
 		return
 	}
 	job, err := req.JobSpec.build()
 	if err != nil {
-		writeError(w, inField(err, ""))
+		WriteError(w, InField(err, ""))
 		return
 	}
 	if !s.gate.tryAcquire() {
-		writeError(w, queueFull(s.opts.RetryAfter))
+		WriteError(w, QueueFull(s.opts.RetryAfter))
 		return
 	}
 	defer s.gate.release()
@@ -230,30 +232,30 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	out := s.runner.Do(ctx, job)
 	if out.Err != nil {
-		writeError(w, outcomeError(out.Err))
+		WriteError(w, OutcomeError(out.Err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(simulateResponse{Cached: out.Cached, Result: toResultJSON(out.Result)})
+	_ = json.NewEncoder(w).Encode(SimulateResponse{Cached: out.Cached, Result: ToResultJSON(out.Result)})
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		methodNotAllowed(w, http.MethodPost)
+		MethodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req SweepRequest
-	if ae := decode(r, &req); ae != nil {
-		writeError(w, ae)
+	if ae := DecodeBody(r, &req); ae != nil {
+		WriteError(w, ae)
 		return
 	}
 	jobs, err := req.expand(s.opts.MaxJobs)
 	if err != nil {
-		writeError(w, inField(err, ""))
+		WriteError(w, InField(err, ""))
 		return
 	}
 	if !s.gate.tryAcquire() {
-		writeError(w, queueFull(s.opts.RetryAfter))
+		WriteError(w, QueueFull(s.opts.RetryAfter))
 		return
 	}
 	defer s.gate.release()
@@ -270,7 +272,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	var cached, failed int
 	s.runner.SweepFunc(ctx, jobs, func(i int, o runner.Outcome) {
-		rec := record(i, o) // SweepFunc serializes observer calls
+		rec := Record(i, o) // SweepFunc serializes observer calls
 		if rec.Error != nil {
 			failed++
 		} else if rec.Cached {
@@ -281,13 +283,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	})
-	_ = enc.Encode(sweepTrailer{Done: true, Jobs: len(jobs), CachedCells: cached, Errors: failed})
+	_ = enc.Encode(SweepTrailer{Done: true, Jobs: len(jobs), CachedCells: cached, Errors: failed})
 	s.met.addCells(len(jobs))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		methodNotAllowed(w, http.MethodGet)
+		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	st := s.runner.Stats()
@@ -298,7 +300,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		methodNotAllowed(w, http.MethodGet)
+		MethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	st := s.runner.Stats()

@@ -42,10 +42,10 @@ func get(s *Server, path string) *httptest.ResponseRecorder {
 }
 
 // errEnvelope decodes the typed error envelope.
-func errEnvelope(t *testing.T, rec *httptest.ResponseRecorder) *apiError {
+func errEnvelope(t *testing.T, rec *httptest.ResponseRecorder) *APIError {
 	t.Helper()
 	var env struct {
-		Error *apiError `json:"error"`
+		Error *APIError `json:"error"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
 		t.Fatalf("error body is not the JSON envelope: %v\n%s", err, rec.Body.String())
@@ -64,7 +64,7 @@ func TestSimulateOKThenCached(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status=%d body=%s", rec.Code, rec.Body.String())
 	}
-	var resp simulateResponse
+	var resp SimulateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSimulateOKThenCached(t *testing.T) {
 	if rec2.Code != http.StatusOK {
 		t.Fatalf("repeat status=%d", rec2.Code)
 	}
-	var resp2 simulateResponse
+	var resp2 SimulateResponse
 	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ type rawRecord struct {
 	Index  int             `json:"index"`
 	Cached bool            `json:"cached"`
 	Result json.RawMessage `json:"result"`
-	Error  *apiError       `json:"error"`
+	Error  *APIError       `json:"error"`
 	// trailer fields
 	Done   bool `json:"done"`
 	Jobs   int  `json:"jobs"`
@@ -324,7 +324,7 @@ func TestSweepGridNDJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := json.Marshal(toResultJSON(res))
+		b, err := json.Marshal(ToResultJSON(res))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,7 +5,6 @@
 package server
 
 import (
-	"fmt"
 	"strings"
 	"time"
 
@@ -216,60 +215,18 @@ type SweepRequest struct {
 // expand compiles the request into a flat job list, enforcing the
 // per-request job bound. Grid form expands workload-major: the cell for
 // (workloads[i], strategies[j]) lands at index i*len(strategies)+j.
+// It is Cells with the wire forms dropped — the in-process sweep path
+// and the fleet gateway validate and order cells identically.
 func (s SweepRequest) expand(maxJobs int) ([]runner.Job, error) {
-	explicit := len(s.Jobs) > 0
-	grid := len(s.Workloads) > 0 || len(s.Strategies) > 0
-	switch {
-	case explicit && grid:
-		return nil, badField(CodeInvalidSweep, "jobs",
-			"give either jobs or workloads×strategies, not both")
-	case explicit:
-		if s.Config != nil {
-			return nil, badField(CodeInvalidSweep, "config",
-				"top-level config applies only to the grid form; set it per job")
-		}
-		if len(s.Jobs) > maxJobs {
-			return nil, errf(statusTooLarge, CodeTooManyJobs, "jobs",
-				"%d jobs exceeds the per-request bound of %d", len(s.Jobs), maxJobs)
-		}
-		jobs := make([]runner.Job, len(s.Jobs))
-		for i, js := range s.Jobs {
-			j, err := js.build()
-			if err != nil {
-				return nil, inField(err, fmt.Sprintf("jobs[%d]", i))
-			}
-			jobs[i] = j
-		}
-		return jobs, nil
-	case len(s.Workloads) > 0 && len(s.Strategies) > 0:
-		n := len(s.Workloads) * len(s.Strategies)
-		if n > maxJobs {
-			return nil, errf(statusTooLarge, CodeTooManyJobs, "workloads",
-				"%d×%d grid = %d jobs exceeds the per-request bound of %d",
-				len(s.Workloads), len(s.Strategies), n, maxJobs)
-		}
-		cfg, err := s.Config.build()
-		if err != nil {
-			return nil, err
-		}
-		jobs := make([]runner.Job, 0, n)
-		for i, ws := range s.Workloads {
-			w, err := ws.build()
-			if err != nil {
-				return nil, inField(err, fmt.Sprintf("workloads[%d]", i))
-			}
-			for j, ss := range s.Strategies {
-				strat, err := ss.build(cfg.Node.Table)
-				if err != nil {
-					return nil, inField(err, fmt.Sprintf("strategies[%d]", j))
-				}
-				jobs = append(jobs, runner.Job{Workload: w, Strategy: strat, Config: cfg})
-			}
-		}
-		return jobs, nil
+	cells, err := s.Cells(maxJobs)
+	if err != nil {
+		return nil, err
 	}
-	return nil, badField(CodeInvalidSweep, "jobs",
-		"empty sweep: give jobs, or workloads and strategies")
+	jobs := make([]runner.Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = c.Job
+	}
+	return jobs, nil
 }
 
 // statusTooLarge is the HTTP status for an over-bound sweep.

@@ -77,7 +77,7 @@ func TestConcurrentSimulateSharesCache(t *testing.T) {
 		for _, tagged := range got[c] {
 			sep := strings.IndexByte(tagged, '|')
 			kind, body := tagged[:sep], tagged[sep+1:]
-			var resp simulateResponse
+			var resp SimulateResponse
 			if err := json.Unmarshal([]byte(body), &resp); err != nil {
 				t.Fatal(err)
 			}
@@ -140,7 +140,7 @@ func TestConcurrentSweepsMatchSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := json.Marshal(toResultJSON(res))
+		b, err := json.Marshal(ToResultJSON(res))
 		if err != nil {
 			t.Fatal(err)
 		}
