@@ -9,7 +9,9 @@
 //	dvsd -cache-dir /var/lib/dvsd   # persist the memo cache across restarts
 //
 // Endpoints: POST /simulate, POST /sweep (NDJSON stream), GET /healthz,
-// GET /metrics. SIGINT/SIGTERM drain in-flight requests before exit; with
+// GET /metrics, GET /debug/traces (recent request traces; ring size set
+// by -trace-buffer, also served with pprof on -debug-addr when given).
+// SIGINT/SIGTERM drain in-flight requests before exit; with
 // -cache-dir the drained process snapshots its memo cache and the next
 // start reloads it, so repeated jobs stay cache hits across restarts.
 //
@@ -23,12 +25,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/server"
 )
@@ -44,6 +48,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", runner.DefaultMaxEntries, "memo-cache bound in entries (LRU eviction beyond it)")
 	errorTTL := flag.Duration("error-cache-ttl", 0, "how long failed cells are negative-cached (0 = failures are never memoized)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent memo-cache snapshot, loaded at startup and written on graceful drain (empty = in-memory only)")
+	traceBuffer := flag.Int("trace-buffer", 256, "finished-trace ring size served at /debug/traces (0 disables tracing)")
+	debugAddr := flag.String("debug-addr", "", "side listener for /debug/pprof and /debug/traces, off the service port and its admission gate (empty = disabled)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "dvsd: invalid -workers %d: want >= 0 (0 = all cores)\n\n", *workers)
@@ -68,6 +74,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceBuffer < 0 {
+		fmt.Fprintf(os.Stderr, "dvsd: invalid -trace-buffer %d: want >= 0 (0 = tracing off)\n\n", *traceBuffer)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	eng := runner.NewWithOptions(runner.Options{
 		Workers:    *workers,
@@ -88,16 +99,29 @@ func main() {
 		}
 	}
 
+	tr := obs.New("dvsd", *traceBuffer)
 	srv := server.New(server.Options{
 		Runner:         eng,
 		MaxInflight:    *queue,
 		MaxJobs:        *maxJobs,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Tracer:         tr,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		go func() {
+			// Debug surface on its own listener: pprof and trace dumps
+			// must stay reachable when the service port is saturated.
+			if err := http.ListenAndServe(*debugAddr, tr.DebugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "dvsd: debug listener:", err)
+			}
+		}()
+		fmt.Printf("dvsd: debug surface on %s (/debug/pprof, /debug/traces)\n", *debugAddr)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()

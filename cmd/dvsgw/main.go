@@ -16,12 +16,20 @@
 // gateway runs it in-process, so a fleet of zero live backends degrades
 // to single-node dvsd behaviour rather than an outage. SIGINT/SIGTERM
 // drain in-flight requests (including streaming sweeps) before exit.
+//
+// Every sweep cell records its trip down that ladder — queue wait,
+// route, retries, hedges, local fallback — as a trace served at
+// GET /debug/traces (ring size -trace-buffer); W3C traceparent headers
+// propagate on forwarded cells so each backend's own trace stitches
+// under the cell's. -debug-addr serves the same dump plus pprof on a
+// side listener.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -45,9 +54,12 @@ func main() {
 	retries := flag.Int("retries", 3, "forwarding attempts per cell before local fallback (first try included)")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry delay (doubles per attempt, plus jitter)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "duplicate a cell to the next backend if the home one hasn't answered within this delay (0 = no hedging)")
+	shedBudget := flag.Duration("shed-budget", 30*time.Second, "cumulative 429-backpressure wait per cell before sheds burn failover attempts (degrades a saturated fleet to local execution)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "backend health-check period")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe deadline")
 	failAfter := flag.Int("fail-after", 2, "consecutive failures (probe or data path) that eject a backend")
+	traceBuffer := flag.Int("trace-buffer", 256, "finished per-cell trace ring size served at /debug/traces (0 disables tracing)")
+	debugAddr := flag.String("debug-addr", "", "side listener for /debug/pprof and /debug/traces, off the service port and its admission gate (empty = disabled)")
 	flag.Parse()
 
 	var peers []string
@@ -78,8 +90,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *traceBuffer < 0 {
+		fmt.Fprintf(os.Stderr, "dvsgw: invalid -trace-buffer %d: want >= 0 (0 = tracing off)\n\n", *traceBuffer)
+		flag.Usage()
+		os.Exit(2)
+	}
 	for name, d := range map[string]time.Duration{
 		"-backoff": *backoff, "-probe-interval": *probeInterval, "-probe-timeout": *probeTimeout,
+		"-shed-budget": *shedBudget,
 	} {
 		if d <= 0 {
 			fmt.Fprintf(os.Stderr, "dvsgw: invalid %s %v: want > 0\n\n", name, d)
@@ -93,6 +111,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	tr := obs.New("dvsgw", *traceBuffer)
 	gw, err := fleet.New(fleet.Options{
 		Peers:          peers,
 		Local:          runner.New(*workers),
@@ -104,6 +123,8 @@ func main() {
 		MaxAttempts:    *retries,
 		Backoff:        *backoff,
 		HedgeAfter:     *hedgeAfter,
+		ShedBudget:     *shedBudget,
+		Tracer:         tr,
 		ProbeInterval:  *probeInterval,
 		ProbeTimeout:   *probeTimeout,
 		FailAfter:      *failAfter,
@@ -115,6 +136,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		go func() {
+			// Debug surface on its own listener: pprof and trace dumps
+			// must stay reachable when the service port is saturated.
+			if err := http.ListenAndServe(*debugAddr, tr.DebugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "dvsgw: debug listener:", err)
+			}
+		}()
+		fmt.Printf("dvsgw: debug surface on %s (/debug/pprof, /debug/traces)\n", *debugAddr)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- gw.ListenAndServe(*addr) }()

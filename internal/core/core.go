@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -179,6 +181,17 @@ func (r Result) AvgPower() float64 {
 // Run executes workload w under strategy strat on a fresh simulated
 // cluster and returns the measurements.
 func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
+	return RunContext(context.Background(), w, strat, cfg)
+}
+
+// RunContext is Run with an observability context: when ctx carries an
+// active obs span, the run's phase boundaries (strategy attach, kernel
+// execution, result collection) are recorded as child spans. The context
+// does NOT cancel the simulation — core.Run is a pure function with no
+// cancellation points; job-boundary cancellation lives in the runner.
+// With a span-less context the tracing path costs nothing, so Run's
+// measurements and the kernel's zero-alloc hot loop are unaffected.
+func RunContext(ctx context.Context, w npb.Workload, strat Strategy, cfg Config) (Result, error) {
 	c, err := cluster.New(cluster.Config{
 		Nodes: w.Ranks,
 		Node:  cfg.Node,
@@ -188,7 +201,7 @@ func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return runOn(c, w, strat, cfg, 0)
+	return runOn(ctx, c, w, strat, cfg, 0)
 }
 
 // runOn is the single measurement path shared by Run and RunInstrumented:
@@ -197,9 +210,11 @@ func Run(w npb.Workload, strat Strategy, cfg Config) (Result, error) {
 // kernel to completion, and collect the result. Because both entry points
 // funnel here, a strategy that works uninstrumented works instrumented by
 // construction — the two paths can never drift again.
-func runOn(c *cluster.Cluster, w npb.Workload, strat Strategy, cfg Config, warmup time.Duration) (Result, error) {
+func runOn(ctx context.Context, c *cluster.Cluster, w npb.Workload, strat Strategy, cfg Config, warmup time.Duration) (Result, error) {
+	_, asp := obs.Start(ctx, "strategy.attach")
 	plan, err := strat.plan()
 	if err != nil {
+		asp.End()
 		return Result{}, err
 	}
 	k := c.Kernel()
@@ -208,6 +223,7 @@ func runOn(c *cluster.Cluster, w npb.Workload, strat Strategy, cfg Config, warmu
 		world.SetTracer(cfg.Tracer)
 	}
 	finish, err := plan.Attach(k, c.Nodes(), world)
+	asp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -216,24 +232,38 @@ func runOn(c *cluster.Cluster, w npb.Workload, strat Strategy, cfg Config, warmu
 	// measuring, so the first battery reading is stable. The workload
 	// launches afterwards and elapsed time excludes the idle.
 	if warmup > 0 {
+		_, wsp := obs.Start(ctx, "warmup")
 		k.After(warmup, func() {})
 		if err := k.Run(sim.Time(0).Add(warmup + time.Nanosecond)); err != nil {
+			wsp.End()
 			return Result{}, err
 		}
+		wsp.End()
 	}
 	if m := c.Meter(); m != nil {
 		m.Begin()
 	}
+	// sim.run covers launch through kernel completion — the simulation
+	// proper, where a slow cell actually spends its time.
+	_, ssp := obs.Start(ctx, "sim.run")
+	ssp.SetAttr("workload", w.Name())
 	if err := w.Launch(world); err != nil {
+		ssp.End()
 		return Result{}, err
 	}
 	if err := k.Run(sim.MaxTime); err != nil {
+		ssp.End()
 		return Result{}, fmt.Errorf("core: %s/%s: %w", w.Name(), strat, err)
 	}
 	if !world.Done() {
+		ssp.End()
 		return Result{}, fmt.Errorf("core: %s did not complete", w.Name())
 	}
+	ssp.SetAttr("virtual_elapsed", (time.Duration(world.Elapsed()) - warmup).String())
+	ssp.End()
 
+	_, csp := obs.Start(ctx, "collect")
+	defer csp.End()
 	res := Result{
 		Name:     w.Name(),
 		Strategy: strat.String(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/cluster"
@@ -36,7 +37,7 @@ func RunInstrumented(w npb.Workload, strat Strategy, cfg Config, samplePeriod, w
 	if err != nil {
 		return InstrumentedResult{}, err
 	}
-	res, err := runOn(c, w, strat, cfg, warmup)
+	res, err := runOn(context.Background(), c, w, strat, cfg, warmup)
 	if err != nil {
 		return InstrumentedResult{}, err
 	}

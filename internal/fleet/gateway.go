@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/server"
 )
@@ -85,6 +86,17 @@ type Options struct {
 	// ring when the home backend hasn't answered within this delay; the
 	// first answer wins. 0 disables hedging.
 	HedgeAfter time.Duration
+	// ShedBudget caps the cumulative time one cell may spend waiting out
+	// backend 429 backpressure. Once spent, further sheds are charged to
+	// the attempt budget, so a permanently saturated backend degrades to
+	// local fallback instead of the cell waiting forever (or until a
+	// request deadline that may not exist). Default 30s.
+	ShedBudget time.Duration
+
+	// Tracer records per-cell spans (route/retry/shed/hedge/local and the
+	// forwarded backend's stitched trace) into the /debug/traces ring.
+	// Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 
 	// ProbeInterval is the health-check period (default 2s); ProbeTimeout
 	// bounds one probe (default 1s); FailAfter is the consecutive-failure
@@ -132,6 +144,9 @@ func (o Options) withDefaults() Options {
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
 	}
+	if o.ShedBudget <= 0 {
+		o.ShedBudget = 30 * time.Second
+	}
 	if o.ProbeInterval <= 0 {
 		o.ProbeInterval = 2 * time.Second
 	}
@@ -157,6 +172,7 @@ type Gateway struct {
 	local *runner.Runner
 	gate  chan struct{}
 	met   *gwMetrics
+	tr    *obs.Tracer
 	mux   *http.ServeMux
 
 	mu sync.Mutex
@@ -175,12 +191,14 @@ func New(opts Options) (*Gateway, error) {
 		local: opts.Local,
 		gate:  make(chan struct{}, opts.MaxInflight),
 		met:   newGwMetrics(),
+		tr:    opts.Tracer,
 	}
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("/simulate", g.instrument("/simulate", g.handleSimulate))
 	g.mux.HandleFunc("/sweep", g.instrument("/sweep", g.handleSweep))
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.Handle("/debug/traces", g.tr.DebugHandler())
 	return g, nil
 }
 
@@ -304,11 +322,18 @@ func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), g.timeoutFor(req.TimeoutMS))
 	defer cancel()
+	// One trace per request; joins the caller's trace if it sent a
+	// traceparent, so an upstream client can stitch through the gateway.
+	ctx, sp := g.tr.StartRequest(ctx, "gw.simulate", r.Header.Get("traceparent"))
+	sp.SetAttr("key", cell.Key)
 	resp, ae := g.runCell(ctx, cell)
 	if ae != nil {
+		sp.SetAttr("error", ae.Code)
+		sp.End()
 		server.WriteError(w, ae)
 		return
 	}
+	sp.End()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
@@ -336,6 +361,9 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), g.timeoutFor(req.TimeoutMS))
 	defer cancel()
+	// Carry the tracer, not a request-level span: each cell roots its own
+	// trace, so /debug/traces answers "why was THIS cell slow" directly.
+	ctx = obs.WithTracer(ctx, g.tr)
 
 	// Same stream contract as a single backend: status 200 commits
 	// before results exist, one record per cell in completion order,
@@ -365,17 +393,30 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		workers = len(cells)
 	}
 	idx := make(chan int)
+	enqueued := time.Now() // all cells queue from sweep admission
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				resp, ae := g.runCell(ctx, cells[i])
+				// Root the cell's trace at enqueue time and record the
+				// fanout wait as its first child, so queueing delay is
+				// visible separately from execution.
+				cctx, root := obs.StartAt(ctx, "gw.cell", enqueued)
+				root.SetAttr("index", fmt.Sprint(i))
+				root.SetAttr("key", cells[i].Key)
+				_, qsp := obs.StartAt(cctx, "queue", enqueued)
+				qsp.End()
+				resp, ae := g.runCell(cctx, cells[i])
 				if ae != nil {
+					root.SetAttr("error", ae.Code)
+					root.End()
 					emit(server.SweepRecord{Index: i, Error: ae})
 					continue
 				}
+				root.SetAttr("cached", fmt.Sprint(resp.Cached))
+				root.End()
 				res := resp.Result
 				emit(server.SweepRecord{Index: i, Cached: resp.Cached, Result: &res})
 			}
@@ -426,43 +467,70 @@ type fwdResult struct {
 // forward POSTs one cell to one backend and classifies the outcome.
 // Context cancellation is never charged to the backend: our deadline
 // expiring (or a hedge race being lost) is not evidence the backend is
-// down.
+// down. The attempt is recorded as a "route" span whose traceparent is
+// injected on the wire, so the backend's own spans stitch beneath it;
+// span and latency histogram observe the same request interval, so
+// traces and /metrics agree on where the time went.
 func (g *Gateway) forward(ctx context.Context, b *backend, body []byte) fwdResult {
 	b.requests.Add(1)
+	_, sp := obs.Start(ctx, "route")
+	sp.SetAttr("backend", b.url)
 	start := time.Now()
+	done := func(res fwdResult) fwdResult {
+		switch {
+		case res.ok:
+			sp.SetAttr("outcome", "ok")
+		case res.ae != nil:
+			sp.SetAttr("outcome", "relay:"+res.ae.Code)
+		case res.shed:
+			sp.SetAttr("outcome", "shed")
+		case res.transport:
+			sp.SetAttr("outcome", "transport")
+		default:
+			sp.SetAttr("outcome", "retry")
+		}
+		sp.End()
+		return res
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/simulate", bytes.NewReader(body))
 	if err != nil {
-		return fwdResult{retry: true, transport: true}
+		return done(fwdResult{retry: true, transport: true})
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(sp, req.Header)
 	resp, err := g.opts.Client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return fwdResult{retry: true, transport: true}
+			return done(fwdResult{retry: true, transport: true})
 		}
 		b.failures.Add(1)
 		b.markFailure(g.pool.failAfter)
-		return fwdResult{retry: true, transport: true}
+		return done(fwdResult{retry: true, transport: true})
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain whatever ReadAll's limit left behind before closing, or
+		// the transport abandons the connection instead of reusing it.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+	}()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		if ctx.Err() == nil {
 			b.failures.Add(1)
 			b.markFailure(g.pool.failAfter)
 		}
-		return fwdResult{retry: true, transport: true}
+		return done(fwdResult{retry: true, transport: true})
 	}
 	if resp.StatusCode == http.StatusOK {
 		var sr server.SimulateResponse
 		if err := json.Unmarshal(raw, &sr); err != nil {
 			b.failures.Add(1)
 			b.markFailure(g.pool.failAfter)
-			return fwdResult{retry: true}
+			return done(fwdResult{retry: true})
 		}
 		b.markSuccess()
 		b.lat.observe(time.Since(start))
-		return fwdResult{ok: true, resp: sr}
+		return done(fwdResult{ok: true, resp: sr})
 	}
 	var env struct {
 		Error *server.APIError `json:"error"`
@@ -471,18 +539,18 @@ func (g *Gateway) forward(ctx context.Context, b *backend, body []byte) fwdResul
 		// Not our wire format — a crashed backend, a proxy error page.
 		b.failures.Add(1)
 		b.markFailure(g.pool.failAfter)
-		return fwdResult{retry: true}
+		return done(fwdResult{retry: true})
 	}
 	// A typed rejection proves the backend is alive and talking.
 	b.markSuccess()
 	if env.Error.Code == server.CodeQueueFull {
-		return fwdResult{shed: true,
-			waitHint: time.Duration(env.Error.RetryAfterMS) * time.Millisecond}
+		return done(fwdResult{shed: true,
+			waitHint: time.Duration(env.Error.RetryAfterMS) * time.Millisecond})
 	}
 	// Deterministic rejections (invalid spec — which local validation
 	// should have caught — sim_failed, deadline) recur on any backend:
 	// relay, don't retry.
-	return fwdResult{ae: env.Error}
+	return done(fwdResult{ae: env.Error})
 }
 
 // sleepCtx waits d or until ctx is done; false means ctx won.
@@ -502,11 +570,18 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 
 // backoff is the delay before retry number n (1-based): Backoff·2ⁿ⁻¹
 // capped at 5s, plus up to 50% jitter so a fleet-wide failure does not
-// resynchronize every cell's retry.
+// resynchronize every cell's retry. Doubling stops at the cap instead of
+// shifting blindly: a naive Backoff<<(n-1) wraps negative for the large
+// n a user-set -retries allows, sails under the cap check, and feeds
+// rand.Int63n a non-positive argument (a panic).
 func (g *Gateway) backoff(n int) time.Duration {
-	d := g.opts.Backoff << (n - 1)
-	if d > 5*time.Second {
-		d = 5 * time.Second
+	const maxDelay = 5 * time.Second
+	d := g.opts.Backoff
+	for i := 1; i < n && d < maxDelay; i++ {
+		d <<= 1
+	}
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
 	}
 	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
@@ -514,7 +589,9 @@ func (g *Gateway) backoff(n int) time.Duration {
 // runCell resolves one cell through the degradation ladder: route to the
 // ring's home backend, fail over with bounded backoff retries, hedge the
 // first attempt if configured, and finally fall back to in-process
-// execution when no backend could serve it.
+// execution when no backend could serve it. Every rung records a span
+// under the cell's trace, so a slow cell explains itself at
+// /debug/traces.
 func (g *Gateway) runCell(ctx context.Context, c server.Cell) (server.SimulateResponse, *server.APIError) {
 	body, err := json.Marshal(c.Spec)
 	if err != nil { // cells are built from decoded JSON; cannot recur
@@ -522,6 +599,7 @@ func (g *Gateway) runCell(ctx context.Context, c server.Cell) (server.SimulateRe
 			server.CodeSimFailed, "", "encode cell: %v", err)
 	}
 	failedAttempts := 0
+	var shedSpent time.Duration
 	for {
 		if ctx.Err() != nil {
 			return server.SimulateResponse{}, server.OutcomeError(ctx.Err())
@@ -549,19 +627,40 @@ func (g *Gateway) runCell(ctx context.Context, c server.Cell) (server.SimulateRe
 			return server.SimulateResponse{}, res.ae
 		case res.shed:
 			// Backpressure, not failure: the backend asked us to come
-			// back. Waiting is bounded by the request deadline, not the
-			// attempt budget.
-			g.met.shedWait.Add(1)
+			// back, so waiting doesn't burn a failover attempt. But the
+			// wait is bounded by ShedBudget — a request context need not
+			// carry a deadline, and even one that does should degrade to
+			// local fallback rather than time the whole cell out against
+			// a permanently saturated backend.
 			wait := res.waitHint
 			if wait <= 0 {
 				wait = g.backoff(1)
 			}
+			if rem := g.opts.ShedBudget - shedSpent; wait > rem {
+				wait = rem
+			}
+			if wait <= 0 {
+				// Budget exhausted: backpressure is no longer free and
+				// each further shed is charged as a failed attempt.
+				obs.SpanFrom(ctx).Event("shed.budget_exhausted")
+				failedAttempts++
+				continue
+			}
+			shedSpent += wait
+			g.met.shedWait.Add(1)
+			_, ssp := obs.Start(ctx, "shed.wait")
+			ssp.SetAttr("backend", b.url)
+			ssp.SetAttr("wait_ms", fmt.Sprint(wait.Milliseconds()))
 			sleepCtx(ctx, wait)
+			ssp.End()
 		default:
 			failedAttempts++
 			if failedAttempts < g.opts.MaxAttempts {
 				g.met.retried.Add(1)
+				_, bsp := obs.Start(ctx, "retry.backoff")
+				bsp.SetAttr("attempt", fmt.Sprint(failedAttempts))
 				sleepCtx(ctx, g.backoff(failedAttempts))
+				bsp.End()
 			}
 		}
 	}
@@ -572,7 +671,9 @@ func (g *Gateway) runCell(ctx context.Context, c server.Cell) (server.SimulateRe
 	// the attempt budget burned down — so run it here, exactly as a
 	// single-node dvsd would.
 	g.met.local.Add(1)
-	out := g.local.Do(ctx, c.Job)
+	lctx, lsp := obs.Start(ctx, "local")
+	out := g.local.Do(lctx, c.Job)
+	lsp.End()
 	if out.Err != nil {
 		return server.SimulateResponse{}, server.OutcomeError(out.Err)
 	}
@@ -616,7 +717,13 @@ func (g *Gateway) forwardHedged(ctx context.Context, primary, secondary *backend
 			timerC = nil
 			launched = 2
 			g.met.hedged.Add(1)
-			go func() { ch <- g.forward(hctx, secondary, body) }()
+			sctx, hsp := obs.Start(hctx, "hedge")
+			hsp.SetAttr("backend", secondary.url)
+			go func() {
+				res := g.forward(sctx, secondary, body)
+				hsp.End()
+				ch <- res
+			}()
 		}
 	}
 }

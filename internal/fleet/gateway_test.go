@@ -3,6 +3,7 @@ package fleet
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -196,6 +197,44 @@ func TestSweepCacheAffinity(t *testing.T) {
 	}
 }
 
+// sweepCells expands sweepGrid the way the gateway does, for tests that
+// need the cells' placement keys or a Job to run directly.
+func sweepCells(t *testing.T) []server.Cell {
+	t.Helper()
+	var req server.SweepRequest
+	if err := json.Unmarshal([]byte(sweepGrid), &req); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := req.Cells(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// gatewayWithDeadHome builds a gateway over one dead peer plus urlLive,
+// re-rolling the dead peer's port until at least one sweepGrid cell
+// homes on it. Ring placement hashes the backend URL, so a single roll
+// is only a 15-in-16 bet that any of the grid's four cells routes to
+// the dead backend — re-rolling makes failover tests deterministic.
+func gatewayWithDeadHome(t *testing.T, urlLive string, opts Options) *Gateway {
+	t.Helper()
+	cells := sweepCells(t)
+	for try := 0; ; try++ {
+		if try > 64 {
+			t.Fatal("no dead port owned a grid cell after 64 rolls")
+		}
+		dead := deadURL(t)
+		opts.Peers = []string{dead, urlLive}
+		g := newGateway(t, opts)
+		for _, c := range cells {
+			if ord := g.pool.order(c.Key); len(ord) > 0 && ord[0].url == dead {
+				return g
+			}
+		}
+	}
+}
+
 // deadURL reserves a port and closes it: connections are refused fast.
 func deadURL(t *testing.T) string {
 	t.Helper()
@@ -213,7 +252,7 @@ func deadURL(t *testing.T) string {
 // feedback, and the retries are visible in metrics.
 func TestFailoverDeadBackend(t *testing.T) {
 	_, urlLive := startBackend(t)
-	g := newGateway(t, Options{Peers: []string{deadURL(t), urlLive}})
+	g := gatewayWithDeadHome(t, urlLive, Options{})
 
 	rec := postGW(g, "/sweep", sweepGrid)
 	if rec.Code != http.StatusOK {
@@ -514,5 +553,74 @@ func TestGatewayShutdownWithoutServe(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("shutdown hung without a running probe loop")
+	}
+}
+
+// TestBackoffClampLargeRetries: the delay before retry n is Backoff·2ⁿ⁻¹
+// capped at 5s plus ≤50% jitter. A user-set -retries 64 reaches shift
+// widths where the naive Backoff<<(n-1) wraps negative, sails under the
+// cap check, and panics inside rand.Int63n — this walks every attempt a
+// 64-retry gateway can make and pins the clamp.
+func TestBackoffClampLargeRetries(t *testing.T) {
+	g := newGateway(t, Options{Peers: testURLs(1), Backoff: 50 * time.Millisecond, MaxAttempts: 64})
+	for n := 1; n <= 64; n++ {
+		d := g.backoff(n)
+		if d <= 0 || d > 7500*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want in (0, 7.5s]", n, d)
+		}
+	}
+}
+
+// TestShedBudgetNoDeadline: a permanently saturated backend answers
+// every attempt with 429 queue_full. Backpressure waits don't burn
+// failover attempts, so without a request deadline the old loop span
+// forever. ShedBudget bounds the cumulative wait; once spent, sheds are
+// charged to the attempt budget and the cell degrades to local
+// execution.
+func TestShedBudgetNoDeadline(t *testing.T) {
+	var sheds atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sheds.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"queue_full","message":"saturated","retry_after_ms":5}}`))
+	}))
+	defer ts.Close()
+
+	g := newGateway(t, Options{
+		Peers:       []string{ts.URL},
+		ShedBudget:  20 * time.Millisecond,
+		MaxAttempts: 2,
+	})
+	cells := sweepCells(t)
+
+	type result struct {
+		resp server.SimulateResponse
+		ae   *server.APIError
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, ae := g.runCell(context.Background(), cells[0])
+		done <- result{resp, ae}
+	}()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadline-less cell stuck in the shed loop; ShedBudget not applied")
+	}
+	if res.ae != nil {
+		t.Fatalf("cell failed instead of degrading to local: %v", res.ae)
+	}
+	if g.met.local.Load() != 1 {
+		t.Fatalf("local fallback ran %d times, want 1", g.met.local.Load())
+	}
+	// 20ms budget at 5ms per hinted wait honors four sheds for free;
+	// the two attempt-charged sheds after that exhaust MaxAttempts.
+	if n := sheds.Load(); n < 5 || n > 8 {
+		t.Fatalf("backend shed %d times, want 5..8 (budget then attempts)", n)
+	}
+	if g.met.shedWait.Load() == 0 {
+		t.Fatal("shed waits not counted in metrics")
 	}
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -134,15 +135,21 @@ func (p *Pool) probe(b *backend) {
 		return
 	}
 	resp, err := p.client.Do(req)
-	if err != nil || resp.StatusCode != http.StatusOK {
-		if resp != nil {
-			resp.Body.Close()
-		}
+	if err != nil {
 		b.probeErr.Add(1)
 		b.markFailure(p.failAfter)
 		return
 	}
+	// Drain the (small, bounded) body before closing: an unread body
+	// makes the transport drop the connection, so every probe round
+	// would re-dial each backend instead of reusing its idle connection.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.probeErr.Add(1)
+		b.markFailure(p.failAfter)
+		return
+	}
 	b.markSuccess()
 }
 

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -86,5 +87,47 @@ func TestOrderRotatesKeylessCells(t *testing.T) {
 	}
 	if len(first) != 3 {
 		t.Fatalf("key-less placement used %d of 3 backends: %v", len(first), first)
+	}
+}
+
+// TestProbeReusesConnection: probes must drain the healthz body before
+// closing it — an unread body makes the transport drop the connection,
+// so every probe round (and, before the fix, every error-path probe)
+// re-dialed each backend instead of reusing its idle connection. Ten
+// probes against one backend must cost exactly one TCP connection,
+// including probes that see a non-200 status.
+func TestProbeReusesConnection(t *testing.T) {
+	var conns atomic.Int64
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(`{"status":"ok","queue_depth":0}`))
+	}))
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	p := newPool([]string{ts.URL}, 8, 64, time.Second, ts.Client())
+	for i := 0; i < 5; i++ {
+		p.probe(p.backends[0])
+	}
+	if p.live() != 1 {
+		t.Fatal("backend not live after healthy probes")
+	}
+	// Unhealthy responses carry a body too; the error path must drain it
+	// just the same.
+	healthy.Store(false)
+	for i := 0; i < 5; i++ {
+		p.probe(p.backends[0])
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("10 probes opened %d connections, want 1 (response body not drained)", got)
 	}
 }

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the operator debug surface: the finished-trace ring
+// at /debug/traces and the standard pprof handlers under /debug/pprof/.
+// Daemons serve it on a side listener (-debug-addr) so profiling and
+// trace dumps stay off the service port — and outside its admission
+// gate, which matters exactly when the service is saturated enough to
+// need debugging. Safe on a nil tracer: pprof still works and
+// /debug/traces reports tracing disabled.
+func (t *Tracer) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/traces", t.DebugHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

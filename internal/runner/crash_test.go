@@ -18,7 +18,9 @@ import (
 func swapCoreRun(t *testing.T, fn func(npb.Workload, core.Strategy, core.Config) (core.Result, error)) {
 	t.Helper()
 	orig := coreRun
-	coreRun = fn
+	coreRun = func(_ context.Context, w npb.Workload, s core.Strategy, c core.Config) (core.Result, error) {
+		return fn(w, s, c)
+	}
 	t.Cleanup(func() { coreRun = orig })
 }
 

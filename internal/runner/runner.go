@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/npb"
+	"repro/internal/obs"
 )
 
 // Job is one independent simulation: a grid cell, comparison arm, or
@@ -217,13 +218,14 @@ func (r *Runner) Do(ctx context.Context, j Job) Outcome {
 
 // coreRun is the simulation entry point, indirected so crash-containment
 // tests can inject panics at the exact call site a real failure would hit.
-var coreRun = core.Run
+// The context carries only tracing state; core's phase spans hang off it.
+var coreRun = core.RunContext
 
 // exec runs one simulation with panic containment: a panic out of
 // core.Run or the workload body is recovered and converted to a
 // *PanicError, so the caller always gets an (result, error) pair and —
 // via finalize — coalescing entries always close their done channel.
-func (r *Runner) exec(j Job) (res core.Result, err error) {
+func (r *Runner) exec(ctx context.Context, j Job) (res core.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			r.mu.Lock()
@@ -232,12 +234,15 @@ func (r *Runner) exec(j Job) (res core.Result, err error) {
 			res, err = core.Result{}, &PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
-	return coreRun(j.Workload, j.Strategy, j.Config)
+	return coreRun(ctx, j.Workload, j.Strategy, j.Config)
 }
 
 // run executes or memo-resolves a single job. Cancellation is checked
 // before starting work and while blocked on a coalesced in-flight entry;
 // cancelled jobs resolve to ctx.Err() and touch neither cache nor stats.
+// Cache provenance is recorded on the caller's active span (if any):
+// cache.hit / cache.miss events, and a cache.wait span for the time
+// spent coalesced behind an identical in-flight job.
 func (r *Runner) run(ctx context.Context, j Job) Outcome {
 	if err := ctx.Err(); err != nil {
 		return Outcome{Err: err}
@@ -247,19 +252,28 @@ func (r *Runner) run(ctx context.Context, j Job) Outcome {
 		r.mu.Lock()
 		r.stats.Runs++
 		r.mu.Unlock()
-		res, err := r.exec(j)
+		res, err := r.exec(ctx, j)
 		return Outcome{Result: res, Err: err}
 	}
 	r.mu.Lock()
 	if e := r.lookup(key); e != nil {
 		r.mu.Unlock()
+		var wsp *obs.Span
 		select {
 		case <-e.done: // completed entries have done already closed
+		default: // in flight elsewhere: this wait is worth a span
+			_, wsp = obs.Start(ctx, "cache.wait")
+		}
+		select {
+		case <-e.done:
+			wsp.End()
+			obs.SpanFrom(ctx).Event("cache.hit")
 			r.mu.Lock()
 			r.stats.Hits++
 			r.mu.Unlock()
 			return Outcome{Result: e.res, Err: e.err, Cached: true}
 		case <-ctx.Done():
+			wsp.End()
 			return Outcome{Err: ctx.Err()}
 		}
 	}
@@ -267,7 +281,8 @@ func (r *Runner) run(ctx context.Context, j Job) Outcome {
 	r.insert(e)
 	r.stats.Runs++
 	r.mu.Unlock()
-	res, err := r.exec(j)
+	obs.SpanFrom(ctx).Event("cache.miss")
+	res, err := r.exec(ctx, j)
 	r.finalize(e, res, err)
 	return Outcome{Result: res, Err: err}
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -49,6 +50,11 @@ type Options struct {
 	// RetryAfter is the backoff hint attached to 429 responses.
 	// Default 1 second.
 	RetryAfter time.Duration
+	// Tracer records per-request spans (admission, runner cache
+	// resolution, sim phases) into the /debug/traces ring, joining the
+	// caller's trace when the request carries a traceparent header. Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +85,7 @@ type Server struct {
 	runner *runner.Runner
 	gate   *gate
 	met    *metrics
+	tr     *obs.Tracer
 	mux    *http.ServeMux
 
 	mu sync.Mutex
@@ -93,12 +100,14 @@ func New(opts Options) *Server {
 		runner: opts.Runner,
 		gate:   newGate(opts.MaxInflight),
 		met:    newMetrics(),
+		tr:     opts.Tracer,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/simulate", s.instrument("/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/sweep", s.instrument("/sweep", s.handleSweep))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/traces", s.tr.DebugHandler())
 	return s
 }
 
@@ -230,11 +239,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
 	defer cancel()
+	// Root span of this process's part of the trace; a traceparent sent
+	// by a fleet gateway stitches it under the gateway's route span.
+	ctx, sp := s.tr.StartRequest(ctx, "dvsd.simulate", r.Header.Get("traceparent"))
+	sp.SetAttr("queue_depth", fmt.Sprint(s.gate.depth()))
 	out := s.runner.Do(ctx, job)
 	if out.Err != nil {
+		sp.SetAttr("error", out.Err.Error())
+		sp.End()
 		WriteError(w, OutcomeError(out.Err))
 		return
 	}
+	sp.SetAttr("cached", fmt.Sprint(out.Cached))
+	sp.End()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(SimulateResponse{Cached: out.Cached, Result: ToResultJSON(out.Result)})
 }
@@ -262,6 +279,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
 	defer cancel()
+	// One trace per sweep request: cells show up as runner/sim child
+	// spans. (Per-cell traces are the gateway's view; a direct sweep is
+	// one client operation.)
+	ctx, sp := s.tr.StartRequest(ctx, "dvsd.sweep", r.Header.Get("traceparent"))
+	sp.SetAttr("jobs", fmt.Sprint(len(jobs)))
+	defer sp.End()
 
 	// Stream: one record per cell in completion order, then a trailer.
 	// The header commits status 200 before results exist; per-cell
