@@ -48,6 +48,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", runner.DefaultMaxEntries, "memo-cache bound in entries (LRU eviction beyond it)")
 	errorTTL := flag.Duration("error-cache-ttl", 0, "how long failed cells are negative-cached (0 = failures are never memoized)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent memo-cache snapshot, loaded at startup and written on graceful drain (empty = in-memory only)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for sweep checkpoint journals: completed cells are journaled as they stream, and re-posting an interrupted sweep resumes instead of recomputing (empty = off)")
 	traceBuffer := flag.Int("trace-buffer", 256, "finished-trace ring size served at /debug/traces (0 disables tracing)")
 	debugAddr := flag.String("debug-addr", "", "side listener for /debug/pprof and /debug/traces, off the service port and its admission gate (empty = disabled)")
 	flag.Parse()
@@ -79,6 +80,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsd: -checkpoint-dir:", err)
+			os.Exit(2)
+		}
+	}
 
 	eng := runner.NewWithOptions(runner.Options{
 		Workers:    *workers,
@@ -107,6 +114,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Tracer:         tr,
+		CheckpointDir:  *ckptDir,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

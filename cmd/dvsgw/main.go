@@ -60,6 +60,7 @@ func main() {
 	failAfter := flag.Int("fail-after", 2, "consecutive failures (probe or data path) that eject a backend")
 	traceBuffer := flag.Int("trace-buffer", 256, "finished per-cell trace ring size served at /debug/traces (0 disables tracing)")
 	debugAddr := flag.String("debug-addr", "", "side listener for /debug/pprof and /debug/traces, off the service port and its admission gate (empty = disabled)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for sweep checkpoint journals: completed cells are journaled as they stream, and re-posting an interrupted sweep resumes instead of recomputing (empty = off)")
 	flag.Parse()
 
 	var peers []string
@@ -111,6 +112,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsgw: -checkpoint-dir:", err)
+			os.Exit(2)
+		}
+	}
+
 	tr := obs.New("dvsgw", *traceBuffer)
 	gw, err := fleet.New(fleet.Options{
 		Peers:          peers,
@@ -128,6 +136,7 @@ func main() {
 		ProbeInterval:  *probeInterval,
 		ProbeTimeout:   *probeTimeout,
 		FailAfter:      *failAfter,
+		CheckpointDir:  *ckptDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvsgw:", err)

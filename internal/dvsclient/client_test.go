@@ -1,0 +1,195 @@
+package dvsclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sweep"
+)
+
+func serve(t *testing.T, h http.HandlerFunc) string {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func okBody() string {
+	return `{"cached":true,"result":{"name":"ft.S.8","strategy":"external 600","elapsed_sec":1.5,"energy_j":42}}`
+}
+
+func TestDoClassifiesOK(t *testing.T) {
+	var gotTrace string
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		gotTrace = r.Header.Get("traceparent")
+		if r.URL.Path != "/simulate" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		fmt.Fprintln(w, okBody())
+	})
+	res := Do(context.Background(), http.DefaultClient, url, []byte(`{}`), "00-abc-def-01")
+	if !res.Ok || !res.Resp.Cached || res.Resp.Result.Name != "ft.S.8" {
+		t.Fatalf("res = %+v", res)
+	}
+	if gotTrace != "00-abc-def-01" {
+		t.Fatalf("traceparent = %q", gotTrace)
+	}
+}
+
+func TestDoClassifiesTypedRejection(t *testing.T) {
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":{"code":"invalid_workload","message":"no such code","field":"workload.code"}}`)
+	})
+	res := Do(context.Background(), http.DefaultClient, url, []byte(`{}`), "")
+	if res.Ok || res.Retry || res.Shed || res.AE == nil {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.AE.Code != sweep.CodeInvalidWorkload || res.AE.Field != "workload.code" {
+		t.Fatalf("AE = %+v", res.AE)
+	}
+}
+
+func TestDoClassifiesShedWithHint(t *testing.T) {
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error":{"code":"queue_full","message":"busy","retry_after_ms":250}}`)
+	})
+	res := Do(context.Background(), http.DefaultClient, url, []byte(`{}`), "")
+	if !res.Shed || res.WaitHint != 250*time.Millisecond {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDoClassifiesGarbageAsRetry(t *testing.T) {
+	for name, h := range map[string]http.HandlerFunc{
+		"garbage 200": func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "<html>not json</html>")
+		},
+		"garbage 502": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprintln(w, "<html>proxy error</html>")
+		},
+	} {
+		url := serve(t, h)
+		res := Do(context.Background(), http.DefaultClient, url, []byte(`{}`), "")
+		if !res.Retry || res.Ok || res.AE != nil {
+			t.Fatalf("%s: res = %+v", name, res)
+		}
+	}
+}
+
+func TestDoClassifiesTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // refuse all connections
+	res := Do(context.Background(), http.DefaultClient, url, []byte(`{}`), "")
+	if !res.Retry || !res.Transport {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPlacerRejectsBodilessCell(t *testing.T) {
+	p := &Placer{BaseURL: "http://unused.invalid"}
+	out := p.Place(context.Background(), 0, sweep.Cell{Key: "k", Job: runner.Job{}})
+	if out.Err == nil || out.Err.Code != sweep.CodeBadRequest {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestPlacerRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprintln(w, "flaky")
+			return
+		}
+		fmt.Fprintln(w, okBody())
+	})
+	p := &Placer{BaseURL: url, Backoff: time.Millisecond}
+	out := p.Place(context.Background(), 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err != nil || out.Wire == nil || !out.Cached {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestPlacerExhaustsAttempts(t *testing.T) {
+	var calls atomic.Int64
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintln(w, "down")
+	})
+	p := &Placer{BaseURL: url, MaxAttempts: 2, Backoff: time.Millisecond}
+	out := p.Place(context.Background(), 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err == nil || out.Err.Code != sweep.CodeSimFailed {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want MaxAttempts", calls.Load())
+	}
+}
+
+func TestPlacerWaitsOutShed(t *testing.T) {
+	var calls atomic.Int64
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]any{"code": "queue_full", "message": "busy", "retry_after_ms": 1},
+			})
+			return
+		}
+		fmt.Fprintln(w, okBody())
+	})
+	p := &Placer{BaseURL: url, Backoff: time.Millisecond}
+	out := p.Place(context.Background(), 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err != nil || out.Wire == nil {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want a wait then a success", calls.Load())
+	}
+}
+
+func TestPlacerRelaysTerminalRejection(t *testing.T) {
+	var calls atomic.Int64
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprintln(w, `{"error":{"code":"invalid_strategy","message":"unknown kind","field":"strategy.kind"}}`)
+	})
+	p := &Placer{BaseURL: url, Backoff: time.Millisecond}
+	out := p.Place(context.Background(), 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err == nil || out.Err.Code != sweep.CodeInvalidStrategy {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d; deterministic rejections must not retry", calls.Load())
+	}
+}
+
+func TestPlacerHonorsContextCancellation(t *testing.T) {
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintln(w, "down")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Placer{BaseURL: url}
+	out := p.Place(ctx, 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err == nil || out.Err.Code != sweep.CodeCanceled {
+		t.Fatalf("out = %+v", out)
+	}
+}

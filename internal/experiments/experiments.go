@@ -34,6 +34,17 @@ type Options struct {
 	// grid cells Table 2 already simulated. When nil each call builds a
 	// fresh engine with Workers parallelism.
 	Runner *runner.Runner
+	// Server optionally places wire-expressible sweep cells on a remote
+	// dvsd-compatible endpoint (base URL). Cells the wire form cannot
+	// carry — custom DVS tables, CG scheduling policies — and cells the
+	// server fails stay on the local engine.
+	Server string
+	// CheckpointDir, when set, journals each sweep's completed cells so
+	// an interrupted reproduction resumes instead of recomputing.
+	CheckpointDir string
+	// Stats, when non-nil, accumulates sweep bookkeeping (resumed and
+	// remotely-served cell counts) across experiment calls.
+	Stats *SweepStats
 }
 
 // Default reproduces at the paper's class C on the calibrated NEMO model.
@@ -139,7 +150,11 @@ func Figure2(o Options) (CrescendoResult, error) {
 }
 
 func crescendoOf(w npb.Workload, o Options) (CrescendoResult, error) {
-	prof, err := o.engine().BuildProfile(w, o.Config, o.Daemon)
+	plan, err := runner.PlanProfile(w, o.Config, o.Daemon)
+	if err != nil {
+		return CrescendoResult{}, err
+	}
+	prof, err := plan.Assemble(o.sweep(plan.Jobs()))
 	if err != nil {
 		return CrescendoResult{}, err
 	}
@@ -184,13 +199,27 @@ func BuildProfiles(o Options) (*ProfileSet, error) {
 		}
 		ws = append(ws, w)
 	}
-	profs, err := o.engine().BuildProfiles(ws, o.Config, o.Daemon)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
+	plans := make([]*runner.ProfilePlan, len(ws))
+	var jobs []runner.Job
+	for i, w := range ws {
+		plan, err := runner.PlanProfile(w, o.Config, o.Daemon)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		plans[i] = plan
+		jobs = append(jobs, plan.Jobs()...)
 	}
+	outs := o.sweep(jobs)
 	ps := &ProfileSet{Options: o, Profiles: map[string]core.Profile{}}
+	off := 0
 	for i, code := range NPBCodes {
-		ps.Profiles[code] = profs[i]
+		n := len(plans[i].Jobs())
+		prof, err := plans[i].Assemble(outs[off : off+n])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		ps.Profiles[code] = prof
+		off += n
 	}
 	return ps, nil
 }
@@ -352,7 +381,7 @@ func Figure11(o Options) (StrategyComparison, error) {
 		return StrategyComparison{}, err
 	}
 	jobs := append(plan.Jobs(), runner.Job{Workload: internal, Strategy: core.NoDVS(), Config: o.Config})
-	outs := o.engine().Sweep(jobs)
+	outs := o.sweep(jobs)
 	prof, err := plan.Assemble(outs[:len(outs)-1])
 	if err != nil {
 		return StrategyComparison{}, err
@@ -424,7 +453,7 @@ func Figure14(o Options) (StrategyComparison, error) {
 		}
 		jobs = append(jobs, runner.Job{Workload: w, Strategy: core.NoDVS(), Config: o.Config})
 	}
-	outs := o.engine().Sweep(jobs)
+	outs := o.sweep(jobs)
 	prof, err := plan.Assemble(outs[:nProf])
 	if err != nil {
 		return StrategyComparison{}, err
@@ -497,7 +526,7 @@ func AblationCPUSpeed(o Options, code string) (v11, v121 core.Normalized, err er
 	if err != nil {
 		return
 	}
-	outs := o.engine().Sweep([]runner.Job{
+	outs := o.sweep([]runner.Job{
 		{Workload: w, Strategy: core.NoDVS(), Config: o.Config},
 		{Workload: w, Strategy: core.Daemon(sched.CPUSpeedV11()), Config: o.Config},
 		{Workload: w, Strategy: core.Daemon(sched.CPUSpeedV121()), Config: o.Config},
@@ -527,7 +556,7 @@ func AblationTransitionCost(o Options, latencies []time.Duration) (*report.Table
 		cfg.Node.Transition.Latency = lat
 		jobs = append(jobs, runner.Job{Workload: internal, Strategy: core.NoDVS(), Config: cfg})
 	}
-	outs := o.engine().Sweep(jobs)
+	outs := o.sweep(jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		return nil, nil, err
 	}

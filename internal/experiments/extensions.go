@@ -72,7 +72,7 @@ func X2PredictiveDaemon(o Options, codes []string) (*report.Table, map[string][3
 			runner.Job{Workload: w, Strategy: core.OnDemand(sched.DefaultOnDemand()), Config: o.Config},
 			runner.Job{Workload: w, Strategy: core.Predictive(sched.DefaultPredictive()), Config: o.Config})
 	}
-	outs := o.engine().Sweep(jobs)
+	outs := o.sweep(jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		return nil, nil, err
 	}
@@ -192,7 +192,9 @@ func X6Reliability(o Options) (*report.Table, map[string]core.Result, error) {
 	for i, r := range runs {
 		jobs[i] = runner.Job{Workload: r.w, Strategy: r.s, Config: o.Config}
 	}
-	outs := o.engine().Sweep(jobs)
+	// Local-only: the thermal series this figure reads never crosses the
+	// wire, so remote placement would silently zero the table.
+	outs := o.localOnly().sweep(jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		return nil, nil, err
 	}
@@ -224,11 +226,11 @@ func X7PowerCap(o Options, fractions []float64) (*report.Table, map[float64]core
 	if err != nil {
 		return nil, nil, err
 	}
-	eng := o.engine()
-	base, err := eng.Run(w, core.NoDVS(), o.Config)
-	if err != nil {
+	bouts := o.sweep([]runner.Job{{Workload: w, Strategy: core.NoDVS(), Config: o.Config}})
+	if err := runner.FirstErr(bouts); err != nil {
 		return nil, nil, err
 	}
+	base := bouts[0].Result
 	basePower := base.AvgPower()
 	t := report.NewTable("X7: FT under a cluster power cap (paper rate $0.10/kWh)",
 		"cap", "budget W", "avg W", "norm delay", "norm energy", "$/run", "$/1000 runs")
@@ -251,7 +253,7 @@ func X7PowerCap(o Options, fractions []float64) (*report.Table, map[float64]core
 		budget := basePower * frac
 		jobs[i] = runner.Job{Workload: w, Strategy: core.PowerCap(sched.DefaultPowerCap(budget)), Config: o.Config}
 	}
-	outs := eng.Sweep(jobs)
+	outs := o.sweep(jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		return nil, nil, err
 	}
@@ -284,7 +286,7 @@ func X5Scaling(o Options, sizes []int) (*report.Table, map[int]core.Normalized, 
 			runner.Job{Workload: plain, Strategy: core.NoDVS(), Config: o.Config},
 			runner.Job{Workload: internal, Strategy: core.NoDVS(), Config: o.Config})
 	}
-	outs := o.engine().Sweep(jobs)
+	outs := o.sweep(jobs)
 	if err := runner.FirstErr(outs); err != nil {
 		return nil, nil, err
 	}

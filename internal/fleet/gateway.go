@@ -31,21 +31,21 @@
 package fleet
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/dvsclient"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/sweep"
 )
 
 // Options configures a Gateway.
@@ -97,6 +97,14 @@ type Options struct {
 	// forwarded backend's stitched trace) into the /debug/traces ring.
 	// Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+
+	// CheckpointDir, when set, journals each sweep's completed cells to an
+	// NDJSON file in this directory (named by the plan fingerprint). A
+	// gateway killed mid-sweep and restarted with the same directory
+	// replays finished cells from the journal and executes only the
+	// remainder when the same sweep is re-posted. Empty disables
+	// checkpointing.
+	CheckpointDir string
 
 	// ProbeInterval is the health-check period (default 2s); ProbeTimeout
 	// bounds one probe (default 1s); FailAfter is the consecutive-failure
@@ -314,6 +322,11 @@ func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, server.InField(err, ""))
 		return
 	}
+	sc, err := cell.Wire()
+	if err != nil {
+		server.WriteError(w, server.InField(err, ""))
+		return
+	}
 	if !g.tryAcquire() {
 		server.WriteError(w, server.QueueFull(g.opts.RetryAfter))
 		return
@@ -325,8 +338,8 @@ func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// One trace per request; joins the caller's trace if it sent a
 	// traceparent, so an upstream client can stitch through the gateway.
 	ctx, sp := g.tr.StartRequest(ctx, "gw.simulate", r.Header.Get("traceparent"))
-	sp.SetAttr("key", cell.Key)
-	resp, ae := g.runCell(ctx, cell)
+	sp.SetAttr("key", sc.Key)
+	resp, ae := g.runCell(ctx, sc)
 	if ae != nil {
 		sp.SetAttr("error", ae.Code)
 		sp.End()
@@ -348,7 +361,7 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, ae)
 		return
 	}
-	cells, err := req.Cells(g.opts.MaxJobs)
+	plan, err := req.Plan(g.opts.MaxJobs)
 	if err != nil {
 		server.WriteError(w, server.InField(err, ""))
 		return
@@ -365,70 +378,56 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// trace, so /debug/traces answers "why was THIS cell slow" directly.
 	ctx = obs.WithTracer(ctx, g.tr)
 
-	// Same stream contract as a single backend: status 200 commits
-	// before results exist, one record per cell in completion order,
-	// per-cell failures in-band, then the done trailer.
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	var emitMu sync.Mutex
-	var cached, failed int
-	emit := func(rec server.SweepRecord) {
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		if rec.Error != nil {
-			failed++
-		} else if rec.Cached {
-			cached++
-		}
-		_ = enc.Encode(rec)
-		if flusher != nil {
-			flusher.Flush()
-		}
+	// Checkpointing is best-effort: a journal that cannot be opened must
+	// not fail the sweep, it only costs re-execution after a crash.
+	var ckpt *sweep.Checkpoint
+	if g.opts.CheckpointDir != "" {
+		ckpt, _ = sweep.OpenCheckpoint(sweep.CheckpointPath(g.opts.CheckpointDir, plan), plan)
 	}
 
-	workers := g.opts.Fanout
-	if workers > len(cells) {
-		workers = len(cells)
+	// Same stream contract as a single backend: status 200 commits
+	// before results exist, one record per cell in completion order,
+	// per-cell failures in-band, then the done trailer. Resumed-cell
+	// counts go to /metrics, never the trailer — a resumed sweep's stream
+	// must be byte-compatible with an uninterrupted one.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := sweep.NewEncoder(w)
+	_, sum := sweep.Execute(ctx, plan, &gwPlacer{g: g, enqueued: time.Now()}, sweep.ExecOptions{
+		Parallel:   g.opts.Fanout,
+		OnRecord:   enc.Record,
+		Checkpoint: ckpt,
+	})
+	enc.Trailer(plan.Len())
+	g.met.addCells(plan.Len())
+	g.met.resumed.Add(int64(sum.Resumed))
+}
+
+// gwPlacer adapts the gateway's degradation ladder (runCell) to the sweep
+// pipeline's Placer. Each cell roots its own trace at sweep admission
+// time, recording the fanout wait as its first child so queueing delay is
+// visible separately from execution.
+type gwPlacer struct {
+	g        *Gateway
+	enqueued time.Time // all cells queue from sweep admission
+}
+
+func (p *gwPlacer) Place(ctx context.Context, i int, c sweep.Cell) sweep.Outcome {
+	cctx, root := obs.StartAt(ctx, "gw.cell", p.enqueued)
+	root.SetAttr("index", fmt.Sprint(i))
+	root.SetAttr("key", c.Key)
+	_, qsp := obs.StartAt(cctx, "queue", p.enqueued)
+	qsp.End()
+	resp, ae := p.g.runCell(cctx, c)
+	if ae != nil {
+		root.SetAttr("error", ae.Code)
+		root.End()
+		return sweep.Outcome{Err: ae}
 	}
-	idx := make(chan int)
-	enqueued := time.Now() // all cells queue from sweep admission
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				// Root the cell's trace at enqueue time and record the
-				// fanout wait as its first child, so queueing delay is
-				// visible separately from execution.
-				cctx, root := obs.StartAt(ctx, "gw.cell", enqueued)
-				root.SetAttr("index", fmt.Sprint(i))
-				root.SetAttr("key", cells[i].Key)
-				_, qsp := obs.StartAt(cctx, "queue", enqueued)
-				qsp.End()
-				resp, ae := g.runCell(cctx, cells[i])
-				if ae != nil {
-					root.SetAttr("error", ae.Code)
-					root.End()
-					emit(server.SweepRecord{Index: i, Error: ae})
-					continue
-				}
-				root.SetAttr("cached", fmt.Sprint(resp.Cached))
-				root.End()
-				res := resp.Result
-				emit(server.SweepRecord{Index: i, Cached: resp.Cached, Result: &res})
-			}
-		}()
-	}
-	for i := range cells {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	_ = enc.Encode(server.SweepTrailer{Done: true, Jobs: len(cells), CachedCells: cached, Errors: failed})
-	g.met.addCells(len(cells))
+	root.SetAttr("cached", fmt.Sprint(resp.Cached))
+	root.End()
+	res := resp.Result
+	return sweep.Outcome{Cached: resp.Cached, Wire: &res}
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -464,7 +463,8 @@ type fwdResult struct {
 	waitHint  time.Duration           // from the shed envelope's retry_after_ms
 }
 
-// forward POSTs one cell to one backend and classifies the outcome.
+// forward POSTs one cell to one backend via the shared wire client and
+// folds the classification into the fleet's liveness bookkeeping.
 // Context cancellation is never charged to the backend: our deadline
 // expiring (or a hedge race being lost) is not evidence the backend is
 // down. The attempt is recorded as a "route" span whose traceparent is
@@ -476,81 +476,36 @@ func (g *Gateway) forward(ctx context.Context, b *backend, body []byte) fwdResul
 	_, sp := obs.Start(ctx, "route")
 	sp.SetAttr("backend", b.url)
 	start := time.Now()
-	done := func(res fwdResult) fwdResult {
-		switch {
-		case res.ok:
-			sp.SetAttr("outcome", "ok")
-		case res.ae != nil:
-			sp.SetAttr("outcome", "relay:"+res.ae.Code)
-		case res.shed:
-			sp.SetAttr("outcome", "shed")
-		case res.transport:
-			sp.SetAttr("outcome", "transport")
-		default:
-			sp.SetAttr("outcome", "retry")
-		}
-		sp.End()
-		return res
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/simulate", bytes.NewReader(body))
-	if err != nil {
-		return done(fwdResult{retry: true, transport: true})
-	}
-	req.Header.Set("Content-Type", "application/json")
-	obs.Inject(sp, req.Header)
-	resp, err := g.opts.Client.Do(req)
-	if err != nil {
-		if ctx.Err() != nil {
-			return done(fwdResult{retry: true, transport: true})
-		}
-		b.failures.Add(1)
-		b.markFailure(g.pool.failAfter)
-		return done(fwdResult{retry: true, transport: true})
-	}
-	defer func() {
-		// Drain whatever ReadAll's limit left behind before closing, or
-		// the transport abandons the connection instead of reusing it.
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
-		resp.Body.Close()
-	}()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
+	cr := dvsclient.Do(ctx, g.opts.Client, b.url, body, obs.Traceparent(sp))
+	res := fwdResult{ok: cr.Ok, resp: cr.Resp, ae: cr.AE,
+		retry: cr.Retry, transport: cr.Transport, shed: cr.Shed, waitHint: cr.WaitHint}
+	switch {
+	case res.ok:
+		b.markSuccess()
+		b.lat.observe(time.Since(start))
+		sp.SetAttr("outcome", "ok")
+	case res.ae != nil:
+		// A typed rejection proves the backend is alive and talking.
+		b.markSuccess()
+		sp.SetAttr("outcome", "relay:"+res.ae.Code)
+	case res.shed:
+		b.markSuccess()
+		sp.SetAttr("outcome", "shed")
+	default:
+		// Transport failure or a non-wire-format response; charged to the
+		// backend unless our own context ended the attempt.
 		if ctx.Err() == nil {
 			b.failures.Add(1)
 			b.markFailure(g.pool.failAfter)
 		}
-		return done(fwdResult{retry: true, transport: true})
-	}
-	if resp.StatusCode == http.StatusOK {
-		var sr server.SimulateResponse
-		if err := json.Unmarshal(raw, &sr); err != nil {
-			b.failures.Add(1)
-			b.markFailure(g.pool.failAfter)
-			return done(fwdResult{retry: true})
+		if res.transport {
+			sp.SetAttr("outcome", "transport")
+		} else {
+			sp.SetAttr("outcome", "retry")
 		}
-		b.markSuccess()
-		b.lat.observe(time.Since(start))
-		return done(fwdResult{ok: true, resp: sr})
 	}
-	var env struct {
-		Error *server.APIError `json:"error"`
-	}
-	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
-		// Not our wire format — a crashed backend, a proxy error page.
-		b.failures.Add(1)
-		b.markFailure(g.pool.failAfter)
-		return done(fwdResult{retry: true})
-	}
-	// A typed rejection proves the backend is alive and talking.
-	b.markSuccess()
-	if env.Error.Code == server.CodeQueueFull {
-		return done(fwdResult{shed: true,
-			waitHint: time.Duration(env.Error.RetryAfterMS) * time.Millisecond})
-	}
-	// Deterministic rejections (invalid spec — which local validation
-	// should have caught — sim_failed, deadline) recur on any backend:
-	// relay, don't retry.
-	return done(fwdResult{ae: env.Error})
+	sp.End()
+	return res
 }
 
 // sleepCtx waits d or until ctx is done; false means ctx won.
@@ -592,15 +547,11 @@ func (g *Gateway) backoff(n int) time.Duration {
 // execution when no backend could serve it. Every rung records a span
 // under the cell's trace, so a slow cell explains itself at
 // /debug/traces.
-func (g *Gateway) runCell(ctx context.Context, c server.Cell) (server.SimulateResponse, *server.APIError) {
-	body, err := json.Marshal(c.Spec)
-	if err != nil { // cells are built from decoded JSON; cannot recur
-		return server.SimulateResponse{}, server.Errf(http.StatusInternalServerError,
-			server.CodeSimFailed, "", "encode cell: %v", err)
-	}
+func (g *Gateway) runCell(ctx context.Context, c sweep.Cell) (server.SimulateResponse, *server.APIError) {
+	body := c.Body
 	failedAttempts := 0
 	var shedSpent time.Duration
-	for {
+	for body != nil { // wire-inexpressible cells go straight to local fallback
 		if ctx.Err() != nil {
 			return server.SimulateResponse{}, server.OutcomeError(ctx.Err())
 		}

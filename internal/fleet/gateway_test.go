@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/sweep"
 )
 
 // startBackend runs a real dvsd service over HTTP and returns it with
@@ -199,17 +200,17 @@ func TestSweepCacheAffinity(t *testing.T) {
 
 // sweepCells expands sweepGrid the way the gateway does, for tests that
 // need the cells' placement keys or a Job to run directly.
-func sweepCells(t *testing.T) []server.Cell {
+func sweepCells(t *testing.T) []sweep.Cell {
 	t.Helper()
 	var req server.SweepRequest
 	if err := json.Unmarshal([]byte(sweepGrid), &req); err != nil {
 		t.Fatal(err)
 	}
-	cells, err := req.Cells(64)
+	plan, err := req.Plan(64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return cells
+	return plan.Cells()
 }
 
 // gatewayWithDeadHome builds a gateway over one dead peer plus urlLive,

@@ -44,6 +44,7 @@ type gwMetrics struct {
 	hedged   atomic.Int64 // hedge requests launched
 	shedWait atomic.Int64 // waits on a backend 429 (backpressure, not failure)
 	local    atomic.Int64 // cells executed in-process (degradation floor)
+	resumed  atomic.Int64 // cells replayed from a checkpoint journal
 }
 
 func newGwMetrics() *gwMetrics {
@@ -96,6 +97,9 @@ func (m *gwMetrics) render(w io.Writer, p *Pool, inflight, capacity int) {
 	fmt.Fprintln(w, "# HELP dvsgw_local_fallback_cells_total Cells executed in-process because no backend could serve them.")
 	fmt.Fprintln(w, "# TYPE dvsgw_local_fallback_cells_total counter")
 	fmt.Fprintf(w, "dvsgw_local_fallback_cells_total %d\n", m.local.Load())
+	fmt.Fprintln(w, "# HELP dvsgw_resumed_cells_total Sweep cells replayed from a checkpoint journal instead of re-executed.")
+	fmt.Fprintln(w, "# TYPE dvsgw_resumed_cells_total counter")
+	fmt.Fprintf(w, "dvsgw_resumed_cells_total %d\n", m.resumed.Load())
 
 	fmt.Fprintln(w, "# HELP dvsgw_queue_depth Gateway requests currently admitted.")
 	fmt.Fprintln(w, "# TYPE dvsgw_queue_depth gauge")

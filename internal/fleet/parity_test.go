@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// parityGrid is a 2×3 workload-major grid, small enough to simulate in a
+// test but wide enough that cell ordering is observable.
+const parityGrid = `{
+	"workloads": [
+		{"code":"FT","class":"S","ranks":2},
+		{"code":"EP","class":"S","ranks":2}
+	],
+	"strategies": [
+		{"kind":"nodvs"},
+		{"kind":"external","freq_mhz":600},
+		{"kind":"external","freq_mhz":800}
+	],
+	"timeout_ms": 60000
+}`
+
+// sweepVia POSTs body to svc's /sweep and decodes the stream.
+func sweepVia(t *testing.T, h http.Handler, body string) ([]sweep.SweepRecord, *sweep.SweepTrailer, int) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/sweep", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, nil, rec.Code
+	}
+	recs, trailer, err := sweep.DecodeStream(rec.Body)
+	if err != nil {
+		t.Fatalf("decode stream: %v", err)
+	}
+	return recs, trailer, rec.Code
+}
+
+// TestSweepParityDvsdDvsgw pins the service contract the fleet layer
+// promises: a sweep answered by the gateway is indistinguishable from
+// one answered by a single dvsd — same cell ordering (workload-major,
+// cell (i,j) at index i*len(strategies)+j), same per-index record bytes,
+// same trailer.
+func TestSweepParityDvsdDvsgw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 6-cell grid")
+	}
+	// Independent cold runners: neither side may answer from a cache the
+	// other doesn't have, or the cached flags would diverge.
+	dvsd := server.New(server.Options{Runner: runner.New(2)})
+	_, backendURL := startBackend(t)
+	gw := newGateway(t, Options{Peers: []string{backendURL}})
+
+	dRecs, dTrailer, code := sweepVia(t, dvsd.Handler(), parityGrid)
+	if code != http.StatusOK {
+		t.Fatalf("dvsd sweep status %d", code)
+	}
+	gRecs, gTrailer, code := sweepVia(t, gw.Handler(), parityGrid)
+	if code != http.StatusOK {
+		t.Fatalf("dvsgw sweep status %d", code)
+	}
+
+	if *dTrailer != *gTrailer {
+		t.Fatalf("trailers differ: dvsd %+v, dvsgw %+v", dTrailer, gTrailer)
+	}
+	if dTrailer.Jobs != 6 || dTrailer.Errors != 0 {
+		t.Fatalf("trailer = %+v", dTrailer)
+	}
+
+	sweep.SortRecords(dRecs)
+	sweep.SortRecords(gRecs)
+	if len(dRecs) != 6 || len(gRecs) != 6 {
+		t.Fatalf("record counts: dvsd %d, dvsgw %d", len(dRecs), len(gRecs))
+	}
+	for i := range dRecs {
+		db, _ := json.Marshal(dRecs[i])
+		gb, _ := json.Marshal(gRecs[i])
+		if !bytes.Equal(db, gb) {
+			t.Errorf("cell %d differs:\ndvsd:  %s\ndvsgw: %s", i, db, gb)
+		}
+	}
+
+	// Workload-major ordering: cell (i, j) lands at i*len(strategies)+j,
+	// so names are constant within each block of 3 and distinct across
+	// blocks, while the strategy column repeats identically per block.
+	for i, r := range dRecs {
+		if r.Result == nil {
+			t.Fatalf("cell %d carries no result: %+v", i, r)
+		}
+		if want := dRecs[(i/3)*3].Result.Name; r.Result.Name != want {
+			t.Errorf("cell %d: name %q, want %q (workload-major blocks of 3)", i, r.Result.Name, want)
+		}
+		if want := dRecs[i%3].Result.Strategy; r.Result.Strategy != want {
+			t.Errorf("cell %d: strategy %q, want %q (strategy-minor within each block)", i, r.Result.Strategy, want)
+		}
+	}
+	if dRecs[0].Result.Name == dRecs[3].Result.Name {
+		t.Fatalf("both blocks ran workload %q; grid collapsed", dRecs[0].Result.Name)
+	}
+}
+
+// TestSweepMaxJobsBoundaryParity pins the admission boundary on both
+// services: a grid exactly at MaxJobs is admitted, one cell over is
+// rejected 413 with the typed too_many_jobs error — identically by dvsd
+// and dvsgw.
+func TestSweepMaxJobsBoundaryParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 6-cell grid")
+	}
+	const maxJobs = 6
+	dvsd := server.New(server.Options{Runner: runner.New(2), MaxJobs: maxJobs})
+	_, backendURL := startBackend(t)
+	gw := newGateway(t, Options{Peers: []string{backendURL}, MaxJobs: maxJobs})
+
+	// Exactly at the limit: 2×3 = 6 cells, admitted by both.
+	for name, h := range map[string]http.Handler{"dvsd": dvsd.Handler(), "dvsgw": gw.Handler()} {
+		recs, trailer, code := sweepVia(t, h, parityGrid)
+		if code != http.StatusOK {
+			t.Fatalf("%s: at-limit sweep status %d, want 200", name, code)
+		}
+		if len(recs) != maxJobs || trailer.Jobs != maxJobs {
+			t.Fatalf("%s: at-limit sweep returned %d records, trailer %+v", name, len(recs), trailer)
+		}
+	}
+
+	// One over: 7 explicit jobs, rejected 413 before any simulation.
+	var jobs []string
+	for i := 0; i < maxJobs+1; i++ {
+		jobs = append(jobs, fmt.Sprintf(
+			`{"workload":{"code":"FT","class":"S","ranks":2},"strategy":{"kind":"external","freq_mhz":%d}}`,
+			600+i))
+	}
+	over := `{"jobs":[` + strings.Join(jobs, ",") + `]}`
+	for name, h := range map[string]http.Handler{"dvsd": dvsd.Handler(), "dvsgw": gw.Handler()} {
+		req := httptest.NewRequest(http.MethodPost, "/sweep", strings.NewReader(over))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: one-over sweep status %d, want 413", name, rec.Code)
+		}
+		var env struct {
+			Error *sweep.APIError `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil {
+			t.Fatalf("%s: one-over body not a typed error: %s", name, rec.Body.Bytes())
+		}
+		if env.Error.Code != sweep.CodeTooManyJobs {
+			t.Fatalf("%s: error code %q, want too_many_jobs", name, env.Error.Code)
+		}
+	}
+}

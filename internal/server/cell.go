@@ -5,9 +5,12 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 
 	"repro/internal/runner"
+	"repro/internal/sweep"
 )
 
 // Cell is one sweep cell in both representations, plus the content
@@ -98,4 +101,36 @@ func (s SweepRequest) Cells(maxJobs int) ([]Cell, error) {
 	}
 	return nil, badField(CodeInvalidSweep, "jobs",
 		"empty sweep: give jobs, or workloads and strategies")
+}
+
+// Plan expands the request into the sweep pipeline's executable form:
+// the single validated cell list (same ordering and field-path reporting
+// as Cells) with each cell carrying its content key, compiled job, and
+// pre-marshaled wire body. This is THE expansion path — dvsd, dvsgw, and
+// any embedder execute exactly this plan.
+func (s SweepRequest) Plan(maxJobs int) (*sweep.Plan, error) {
+	cells, err := s.Cells(maxJobs)
+	if err != nil {
+		return nil, err
+	}
+	scs := make([]sweep.Cell, len(cells))
+	for i, c := range cells {
+		sc, err := c.Wire()
+		if err != nil {
+			return nil, InField(err, fmt.Sprintf("jobs[%d]", i))
+		}
+		scs[i] = sc
+	}
+	return sweep.NewPlan(scs), nil
+}
+
+// Wire converts the cell into the sweep pipeline's placeable form,
+// marshaling the spec into the forwardable POST /simulate body.
+func (c Cell) Wire() (sweep.Cell, error) {
+	body, err := json.Marshal(c.Spec)
+	if err != nil { // cells are built from decoded JSON; cannot recur
+		return sweep.Cell{}, Errf(http.StatusInternalServerError, CodeSimFailed, "",
+			"encode cell: %v", err)
+	}
+	return sweep.Cell{Key: c.Key, Job: c.Job, Body: body}, nil
 }

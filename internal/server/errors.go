@@ -1,63 +1,45 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/spec"
+	"repro/internal/sweep"
 )
 
-// Error codes returned in the "code" field of error responses. They are
-// part of the service's wire contract: clients dispatch on the code, the
-// message is for humans.
+// The typed wire-error contract lives in internal/sweep: the sweep
+// pipeline — not any one HTTP daemon — owns the wire format end to end.
+// These aliases keep internal/server's surface (and its callers: fleet,
+// cmd/dvsd, tests) stable.
+
+// APIError is a typed, client-dispatchable request failure.
+type APIError = sweep.APIError
+
+// Error codes returned in the "code" field of error responses.
 const (
-	CodeBadRequest       = "bad_request"        // malformed JSON / wrong shape
-	CodeInvalidWorkload  = "invalid_workload"   // workload spec failed validation
-	CodeInvalidStrategy  = "invalid_strategy"   // strategy spec failed validation
-	CodeInvalidConfig    = "invalid_config"     // config spec failed validation
-	CodeInvalidSweep     = "invalid_sweep"      // sweep shape (jobs vs grid) invalid
-	CodeTooManyJobs      = "too_many_jobs"      // sweep exceeds the per-request job bound
-	CodeQueueFull        = "queue_full"         // admission queue at capacity; retry later
-	CodeDeadlineExceeded = "deadline_exceeded"  // per-request deadline expired
-	CodeCanceled         = "canceled"           // client went away before completion
-	CodeSimFailed        = "sim_failed"         // simulation returned an error
-	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
+	CodeBadRequest       = sweep.CodeBadRequest
+	CodeInvalidWorkload  = sweep.CodeInvalidWorkload
+	CodeInvalidStrategy  = sweep.CodeInvalidStrategy
+	CodeInvalidConfig    = sweep.CodeInvalidConfig
+	CodeInvalidSweep     = sweep.CodeInvalidSweep
+	CodeTooManyJobs      = sweep.CodeTooManyJobs
+	CodeQueueFull        = sweep.CodeQueueFull
+	CodeDeadlineExceeded = sweep.CodeDeadlineExceeded
+	CodeCanceled         = sweep.CodeCanceled
+	CodeSimFailed        = sweep.CodeSimFailed
+	CodeMethodNotAllowed = sweep.CodeMethodNotAllowed
 )
-
-// APIError is a typed, client-dispatchable request failure. It implements
-// error so spec builders can return it through ordinary error plumbing;
-// the handlers unwrap it to pick the HTTP status.
-type APIError struct {
-	status  int    // HTTP status; not serialized
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	// Field names the offending request field in JSON-pointer-ish dotted
-	// form (e.g. "jobs[3].strategy.freq_mhz"), when one is identifiable.
-	Field string `json:"field,omitempty"`
-	// RetryAfterMS accompanies queue_full: how long the client should
-	// back off before resubmitting.
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
-}
-
-func (e *APIError) Error() string {
-	if e.Field != "" {
-		return fmt.Sprintf("%s: %s: %s", e.Code, e.Field, e.Message)
-	}
-	return fmt.Sprintf("%s: %s", e.Code, e.Message)
-}
 
 // Errf builds a typed error with a formatted message.
 func Errf(status int, code, field, format string, args ...any) *APIError {
-	return &APIError{status: status, Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+	return sweep.Errf(status, code, field, format, args...)
 }
 
 // badField is the common 400 constructor used by the spec builders.
 func badField(code, field, format string, args ...any) *APIError {
-	return Errf(http.StatusBadRequest, code, field, format, args...)
+	return sweep.BadField(code, field, format, args...)
 }
 
 // specErr translates a registry decode rejection (a *spec.Error whose
@@ -78,68 +60,11 @@ func specErr(err error, code, root string) *APIError {
 
 // InField re-roots a spec builder's error under a parent field path, so
 // sweep expansion can report "jobs[3].strategy.kind" rather than
-// "strategy.kind". Non-APIError errors are wrapped as bad_request.
-func InField(err error, parent string) *APIError {
-	if ae, ok := err.(*APIError); ok {
-		e := *ae
-		switch {
-		case parent == "":
-			// no re-rooting, just the type assertion
-		case e.Field == "":
-			e.Field = parent
-		default:
-			e.Field = parent + "." + e.Field
-		}
-		return &e
-	}
-	return badField(CodeBadRequest, parent, "%v", err)
-}
-
-// HTTPStatus returns the status WriteError renders the error with. The
-// in-process constructors carry an explicit status; an APIError decoded
-// back off the wire (the fleet gateway relaying a backend rejection) has
-// lost it — not serialized — so the code maps back to its status.
-func (e *APIError) HTTPStatus() int {
-	if e.status != 0 {
-		return e.status
-	}
-	switch e.Code {
-	case CodeTooManyJobs:
-		return statusTooLarge
-	case CodeQueueFull:
-		return http.StatusTooManyRequests
-	case CodeDeadlineExceeded:
-		return http.StatusGatewayTimeout
-	case CodeCanceled:
-		return statusClientClosed
-	case CodeSimFailed:
-		return http.StatusInternalServerError
-	case CodeMethodNotAllowed:
-		return http.StatusMethodNotAllowed
-	case CodeBadRequest, CodeInvalidWorkload, CodeInvalidStrategy,
-		CodeInvalidConfig, CodeInvalidSweep:
-		return http.StatusBadRequest
-	}
-	return http.StatusBadGateway
-}
+// "strategy.kind".
+func InField(err error, parent string) *APIError { return sweep.InField(err, parent) }
 
 // QueueFull builds the 429 shed response.
-func QueueFull(retryAfter time.Duration) *APIError {
-	e := Errf(http.StatusTooManyRequests, CodeQueueFull, "",
-		"admission queue is full; retry after %s", retryAfter)
-	e.RetryAfterMS = retryAfter.Milliseconds()
-	return e
-}
+func QueueFull(retryAfter time.Duration) *APIError { return sweep.QueueFull(retryAfter) }
 
-// WriteError renders a typed error as the JSON error envelope, setting
-// Retry-After on 429s so well-behaved clients back off without parsing
-// the body.
-func WriteError(w http.ResponseWriter, err *APIError) {
-	w.Header().Set("Content-Type", "application/json")
-	if err.HTTPStatus() == http.StatusTooManyRequests && err.RetryAfterMS > 0 {
-		secs := (err.RetryAfterMS + 999) / 1000
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	}
-	w.WriteHeader(err.HTTPStatus())
-	_ = json.NewEncoder(w).Encode(map[string]*APIError{"error": err})
-}
+// WriteError renders a typed error as the JSON error envelope.
+func WriteError(w http.ResponseWriter, err *APIError) { sweep.WriteError(w, err) }

@@ -64,9 +64,9 @@ func FuzzDecodeSpec(f *testing.F) {
 			_, err := sim.JobSpec.build()
 			checkErr(err)
 		}
-		var sweep SweepRequest
-		if dec := json.NewDecoder(bytes.NewReader(data)); dec.Decode(&sweep) == nil {
-			_, err := sweep.expand(64)
+		var swr SweepRequest
+		if dec := json.NewDecoder(bytes.NewReader(data)); dec.Decode(&swr) == nil {
+			_, err := swr.Plan(64)
 			checkErr(err)
 		}
 	})

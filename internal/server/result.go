@@ -1,106 +1,33 @@
 package server
 
 import (
-	"context"
-	"errors"
-	"net/http"
-
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/sweep"
 )
 
-// ResultJSON is the wire form of one simulation's measurements: the
-// summary figures the paper's tables are built from, not the full
-// per-node traces (those stay library-side — a service response should
-// be O(ranks)-free).
-type ResultJSON struct {
-	Name              string  `json:"name"`
-	Strategy          string  `json:"strategy"`
-	ElapsedSec        float64 `json:"elapsed_sec"`
-	EnergyJ           float64 `json:"energy_j"`
-	AvgPowerW         float64 `json:"avg_power_w"`
-	EnergyPerNodeJ    float64 `json:"energy_per_node_j"`
-	Transitions       int     `json:"transitions"`
-	DaemonMoves       int     `json:"daemon_moves,omitempty"`
-	AvgTempC          float64 `json:"avg_temp_c"`
-	MinLifetimeFactor float64 `json:"min_lifetime_factor"`
-	NetMessages       int     `json:"net_messages"`
-	NetBytes          int64   `json:"net_bytes"`
-}
+// The wire result and NDJSON stream shapes live in internal/sweep (the
+// one encode/decode pair for dvsd, dvsgw, and every client). These
+// aliases keep internal/server's surface stable.
+type (
+	// ResultJSON is the wire form of one simulation's measurements.
+	ResultJSON = sweep.ResultJSON
+	// SimulateResponse is the POST /simulate success body.
+	SimulateResponse = sweep.SimulateResponse
+	// SweepRecord is one NDJSON line of a POST /sweep stream.
+	SweepRecord = sweep.SweepRecord
+	// SweepTrailer is the final NDJSON line of a sweep stream.
+	SweepTrailer = sweep.SweepTrailer
+)
 
-func ToResultJSON(r core.Result) ResultJSON {
-	return ResultJSON{
-		Name:              r.Name,
-		Strategy:          r.Strategy,
-		ElapsedSec:        r.Elapsed.Seconds(),
-		EnergyJ:           r.Energy,
-		AvgPowerW:         r.AvgPower(),
-		EnergyPerNodeJ:    r.EnergyPerNode(),
-		Transitions:       r.Transitions,
-		DaemonMoves:       r.DaemonMoves,
-		AvgTempC:          r.AvgTemperature(),
-		MinLifetimeFactor: r.MinLifetimeFactor(),
-		NetMessages:       r.Net.Messages,
-		NetBytes:          r.Net.Bytes,
-	}
-}
+// statusClientClosed is nginx's 499: the client went away.
+const statusClientClosed = sweep.StatusClientClosed
 
-// SimulateResponse is the POST /simulate success body.
-type SimulateResponse struct {
-	Cached bool       `json:"cached"`
-	Result ResultJSON `json:"result"`
-}
+// ToResultJSON projects a result onto its wire form.
+func ToResultJSON(r core.Result) ResultJSON { return sweep.ToResultJSON(r) }
 
-// SweepRecord is one NDJSON line of a POST /sweep stream: either a
-// completed cell (result set) or a failed one (error set), identified by
-// its submission index. Records arrive in completion order.
-type SweepRecord struct {
-	Index  int         `json:"index"`
-	Cached bool        `json:"cached,omitempty"`
-	Result *ResultJSON `json:"result,omitempty"`
-	Error  *APIError   `json:"error,omitempty"`
-}
+// OutcomeError maps a job outcome's failure to a typed error.
+func OutcomeError(err error) *APIError { return sweep.OutcomeError(err) }
 
-// SweepTrailer is the final NDJSON line, confirming the stream is
-// complete (a client that doesn't see it knows the stream was truncated).
-type SweepTrailer struct {
-	Done bool `json:"done"`
-	Jobs int  `json:"jobs"`
-	// CachedCells/Errors count this sweep's cache-served and failed
-	// cells. ("cached_cells", not "cached": cell records use "cached"
-	// as a bool, and the names must not collide for clients that decode
-	// every line into one union shape.)
-	CachedCells int `json:"cached_cells"`
-	Errors      int `json:"errors"`
-}
-
-// OutcomeError maps a job outcome's failure to a typed error. Context
-// errors become deadline_exceeded/canceled; anything else is a
-// simulation failure.
-func OutcomeError(err error) *APIError {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return Errf(http.StatusGatewayTimeout, CodeDeadlineExceeded, "",
-			"request deadline expired before the simulation ran")
-	case errors.Is(err, context.Canceled):
-		return Errf(statusClientClosed, CodeCanceled, "", "request canceled")
-	default:
-		return Errf(http.StatusInternalServerError, CodeSimFailed, "", "%v", err)
-	}
-}
-
-// statusClientClosed is nginx's 499: the client went away. Nothing
-// standard fits; the status is visible only in metrics since the client
-// is no longer reading.
-const statusClientClosed = 499
-
-// Record builds the NDJSON line for one outcome. It is exported for the
-// fleet gateway, whose local-fallback cells go through the same encoder
-// as a backend's own sweep stream.
-func Record(i int, o runner.Outcome) SweepRecord {
-	if o.Err != nil {
-		return SweepRecord{Index: i, Error: OutcomeError(o.Err)}
-	}
-	r := ToResultJSON(o.Result)
-	return SweepRecord{Index: i, Cached: o.Cached, Result: &r}
-}
+// Record builds the NDJSON line for one outcome.
+func Record(i int, o runner.Outcome) SweepRecord { return sweep.Record(i, o) }

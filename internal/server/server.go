@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/sweep"
 )
 
 // Options configures the service.
@@ -55,6 +56,10 @@ type Options struct {
 	// caller's trace when the request carries a traceparent header. Nil
 	// disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// CheckpointDir, when set, journals each sweep's completed cells so
+	// re-posting an interrupted sweep replays them instead of
+	// recomputing. Empty disables checkpointing.
+	CheckpointDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -266,7 +271,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, ae)
 		return
 	}
-	jobs, err := req.expand(s.opts.MaxJobs)
+	plan, err := req.Plan(s.opts.MaxJobs)
 	if err != nil {
 		WriteError(w, InField(err, ""))
 		return
@@ -283,31 +288,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// spans. (Per-cell traces are the gateway's view; a direct sweep is
 	// one client operation.)
 	ctx, sp := s.tr.StartRequest(ctx, "dvsd.sweep", r.Header.Get("traceparent"))
-	sp.SetAttr("jobs", fmt.Sprint(len(jobs)))
+	sp.SetAttr("jobs", fmt.Sprint(plan.Len()))
 	defer sp.End()
+
+	// Checkpointing is best-effort: a journal that cannot be opened must
+	// not fail the sweep, it only costs re-execution after a crash.
+	var ckpt *sweep.Checkpoint
+	if s.opts.CheckpointDir != "" {
+		ckpt, _ = sweep.OpenCheckpoint(sweep.CheckpointPath(s.opts.CheckpointDir, plan), plan)
+	}
 
 	// Stream: one record per cell in completion order, then a trailer.
 	// The header commits status 200 before results exist; per-cell
 	// failures travel in-band as error records.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	var cached, failed int
-	s.runner.SweepFunc(ctx, jobs, func(i int, o runner.Outcome) {
-		rec := Record(i, o) // SweepFunc serializes observer calls
-		if rec.Error != nil {
-			failed++
-		} else if rec.Cached {
-			cached++
-		}
-		_ = enc.Encode(rec)
-		if flusher != nil {
-			flusher.Flush()
-		}
+	enc := sweep.NewEncoder(w)
+	sweep.Execute(ctx, plan, sweep.Local{Runner: s.runner}, sweep.ExecOptions{
+		Parallel:   s.runner.Workers(),
+		OnRecord:   enc.Record, // Execute serializes observer calls
+		Checkpoint: ckpt,
 	})
-	_ = enc.Encode(SweepTrailer{Done: true, Jobs: len(jobs), CachedCells: cached, Errors: failed})
-	s.met.addCells(len(jobs))
+	enc.Trailer(plan.Len())
+	s.met.addCells(plan.Len())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

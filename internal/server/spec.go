@@ -212,22 +212,5 @@ type SweepRequest struct {
 	TimeoutMS  float64        `json:"timeout_ms,omitempty"`
 }
 
-// expand compiles the request into a flat job list, enforcing the
-// per-request job bound. Grid form expands workload-major: the cell for
-// (workloads[i], strategies[j]) lands at index i*len(strategies)+j.
-// It is Cells with the wire forms dropped — the in-process sweep path
-// and the fleet gateway validate and order cells identically.
-func (s SweepRequest) expand(maxJobs int) ([]runner.Job, error) {
-	cells, err := s.Cells(maxJobs)
-	if err != nil {
-		return nil, err
-	}
-	jobs := make([]runner.Job, len(cells))
-	for i, c := range cells {
-		jobs[i] = c.Job
-	}
-	return jobs, nil
-}
-
 // statusTooLarge is the HTTP status for an over-bound sweep.
 const statusTooLarge = 413 // http.StatusRequestEntityTooLarge

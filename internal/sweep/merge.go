@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Encoder writes the NDJSON sweep stream: one SweepRecord line per cell
+// in completion order, then a SweepTrailer. It is the single encode path
+// for dvsd, dvsgw, and every test harness. Not safe for concurrent use —
+// the executor's serialized OnRecord callback is the intended caller.
+type Encoder struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+	cached  int
+	errors  int
+}
+
+// NewEncoder wraps w. When w is an http.ResponseWriter that supports
+// flushing, each line is flushed as it is written so clients observe
+// per-cell progress.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{enc: json.NewEncoder(w)}
+	if f, ok := w.(http.Flusher); ok {
+		e.flusher = f
+	}
+	return e
+}
+
+// Record writes one cell line and folds it into the trailer counts.
+func (e *Encoder) Record(rec SweepRecord) {
+	switch {
+	case rec.Error != nil:
+		e.errors++
+	case rec.Cached:
+		e.cached++
+	}
+	_ = e.enc.Encode(rec)
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+// Trailer writes the done line from the counts accumulated by Record.
+func (e *Encoder) Trailer(jobs int) {
+	_ = e.enc.Encode(SweepTrailer{Done: true, Jobs: jobs, CachedCells: e.cached, Errors: e.errors})
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+// maxStreamLine bounds one NDJSON line; matches the read limit clients
+// already apply to daemon responses.
+const maxStreamLine = 1 << 20
+
+// streamLine is the union shape of any stream line: a record's fields
+// plus the trailer's. "cached_cells" vs the record's "cached" keeps the
+// two decodable from one struct.
+type streamLine struct {
+	Index       int         `json:"index"`
+	Cached      bool        `json:"cached"`
+	Result      *ResultJSON `json:"result"`
+	Error       *APIError   `json:"error"`
+	Done        bool        `json:"done"`
+	Jobs        int         `json:"jobs"`
+	CachedCells int         `json:"cached_cells"`
+	Errors      int         `json:"errors"`
+}
+
+// DecodeStream reads a complete sweep stream: the cell records in the
+// order they arrived, and the trailer. A stream without a done trailer is
+// truncated and returns an error — callers must treat partial streams as
+// failed sweeps, never as short ones.
+func DecodeStream(r io.Reader) ([]SweepRecord, *SweepTrailer, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+	var recs []SweepRecord
+	var trailer *SweepTrailer
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if trailer != nil {
+			return recs, trailer, fmt.Errorf("sweep stream: data after done trailer: %q", line)
+		}
+		var l streamLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return recs, nil, fmt.Errorf("sweep stream: bad line: %w", err)
+		}
+		if l.Done {
+			trailer = &SweepTrailer{Done: true, Jobs: l.Jobs, CachedCells: l.CachedCells, Errors: l.Errors}
+			continue
+		}
+		recs = append(recs, SweepRecord{Index: l.Index, Cached: l.Cached, Result: l.Result, Error: l.Error})
+	}
+	if err := sc.Err(); err != nil {
+		return recs, nil, fmt.Errorf("sweep stream: %w", err)
+	}
+	if trailer == nil {
+		return recs, nil, fmt.Errorf("sweep stream: truncated (no done trailer after %d records)", len(recs))
+	}
+	return recs, trailer, nil
+}
+
+// SortRecords orders records by submission index, turning a
+// completion-order stream back into plan order.
+func SortRecords(recs []SweepRecord) {
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Index < recs[b].Index })
+}

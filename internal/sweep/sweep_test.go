@@ -1,0 +1,366 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// placerFunc adapts a function to the Placer interface.
+type placerFunc func(ctx context.Context, i int, c Cell) Outcome
+
+func (f placerFunc) Place(ctx context.Context, i int, c Cell) Outcome { return f(ctx, i, c) }
+
+// testPlan builds an n-cell plan with synthetic keys; indexes listed in
+// keyless get Key "" (uncacheable — never journaled or replayed).
+func testPlan(n int, keyless ...int) *Plan {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{Key: fmt.Sprintf("key-%04d", i)}
+	}
+	for _, i := range keyless {
+		cells[i].Key = ""
+	}
+	return NewPlan(cells)
+}
+
+// testResult is the deterministic wire result for cell i: the same on
+// every run, so resumed and uninterrupted sweeps are comparable byte for
+// byte.
+func testResult(i int) *ResultJSON {
+	return &ResultJSON{
+		Name:       fmt.Sprintf("cell-%d", i),
+		Strategy:   "test",
+		ElapsedSec: float64(i) + 1,
+		EnergyJ:    100 * (float64(i) + 1),
+	}
+}
+
+func testOutcome(i int) Outcome {
+	return Outcome{Cached: i%3 == 0, Wire: testResult(i)}
+}
+
+// encodeSorted renders records index-sorted through the production
+// encoder, the byte-level form clients diff.
+func encodeSorted(t *testing.T, recs []SweepRecord, jobs int) []byte {
+	t.Helper()
+	SortRecords(recs)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, r := range recs {
+		enc.Record(r)
+	}
+	enc.Trailer(jobs)
+	return buf.Bytes()
+}
+
+func TestExecuteStreamsEveryCellOnce(t *testing.T) {
+	p := testPlan(8)
+	var recs []SweepRecord
+	outs, sum := Execute(context.Background(), p, placerFunc(func(_ context.Context, i int, _ Cell) Outcome {
+		return testOutcome(i)
+	}), ExecOptions{Parallel: 3, OnRecord: func(r SweepRecord) { recs = append(recs, r) }})
+
+	if sum.Jobs != 8 || sum.Errors != 0 || sum.Resumed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if want := 3; sum.Cached != want { // indexes 0, 3, 6
+		t.Fatalf("cached = %d, want %d", sum.Cached, want)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("streamed %d records, want 8", len(recs))
+	}
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if seen[r.Index] {
+			t.Fatalf("index %d streamed twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+	for i, o := range outs {
+		if o.Wire == nil || o.Wire.Name != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("outs[%d] = %+v", i, o)
+		}
+	}
+}
+
+func TestExecuteSerialCompletionOrder(t *testing.T) {
+	p := testPlan(5)
+	var order []int
+	Execute(context.Background(), p, placerFunc(func(_ context.Context, i int, _ Cell) Outcome {
+		return testOutcome(i)
+	}), ExecOptions{Parallel: 1, OnRecord: func(r SweepRecord) { order = append(order, r.Index) }})
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("serial stream order = %v, want submission order", order)
+		}
+	}
+}
+
+func TestExecutePanickingPlacerFailsOnlyItsCell(t *testing.T) {
+	p := testPlan(3)
+	outs, sum := Execute(context.Background(), p, placerFunc(func(_ context.Context, i int, _ Cell) Outcome {
+		if i == 1 {
+			panic("boom")
+		}
+		return testOutcome(i)
+	}), ExecOptions{Parallel: 1})
+
+	if sum.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", sum.Errors)
+	}
+	if outs[1].Err == nil || outs[1].Err.Code != CodeSimFailed ||
+		!strings.Contains(outs[1].Err.Message, "boom") {
+		t.Fatalf("outs[1].Err = %v", outs[1].Err)
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Fatalf("neighbor cells failed: %v %v", outs[0].Err, outs[2].Err)
+	}
+}
+
+// TestResumeByteIdentical is the checkpoint/resume contract: a sweep
+// interrupted after some cells completed, then resumed against a fresh
+// executor, re-executes only the unfinished cells yet merges to a stream
+// byte-identical (index-sorted) to an uninterrupted run. Run under
+// -race: placements, journaling, and emission race across workers.
+func TestResumeByteIdentical(t *testing.T) {
+	const n = 12
+	keyless := 7 // uncacheable: must re-execute even if it finished
+	mkPlan := func() *Plan { return testPlan(n, keyless) }
+	dir := t.TempDir()
+
+	// Reference: one uninterrupted run.
+	var refRecs []SweepRecord
+	var mu sync.Mutex
+	refOuts, _ := Execute(context.Background(), mkPlan(), placerFunc(func(_ context.Context, i int, _ Cell) Outcome {
+		return testOutcome(i)
+	}), ExecOptions{Parallel: 4, OnRecord: func(r SweepRecord) {
+		mu.Lock()
+		refRecs = append(refRecs, r)
+		mu.Unlock()
+	}})
+	for i, o := range refOuts {
+		if o.Err != nil {
+			t.Fatalf("reference cell %d failed: %v", i, o.Err)
+		}
+	}
+	refBytes := encodeSorted(t, refRecs, n)
+
+	// First run: cells with index >= 5 fail, as if the process died
+	// mid-sweep. Completed keyed cells journal; the failed ones keep the
+	// journal alive for the next run.
+	p1 := mkPlan()
+	ck1, err := OpenCheckpoint(CheckpointPath(dir, p1), p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum1 := Execute(context.Background(), p1, placerFunc(func(_ context.Context, i int, _ Cell) Outcome {
+		if i >= 5 {
+			return Outcome{Err: Errf(500, CodeSimFailed, "", "interrupted")}
+		}
+		return testOutcome(i)
+	}), ExecOptions{Parallel: 4, Checkpoint: ck1})
+	if sum1.Errors == 0 {
+		t.Fatal("first run reported no errors; test needs an interrupted sweep")
+	}
+	if _, err := os.Stat(ck1.Path()); err != nil {
+		t.Fatalf("journal should survive a failed sweep: %v", err)
+	}
+
+	// Resumed run: a fresh checkpoint over the same plan replays the
+	// journaled cells and executes only the remainder.
+	p2 := mkPlan()
+	ck2, err := OpenCheckpoint(CheckpointPath(dir, p2), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Resumed() != 5 { // cells 0..4 completed and are all keyed
+		t.Fatalf("journal holds %d cells, want 5 (0..4 completed, all keyed)", ck2.Resumed())
+	}
+	placed := map[int]bool{}
+	var resRecs []SweepRecord
+	outs2, sum2 := Execute(context.Background(), p2, placerFunc(func(_ context.Context, i int, _ Cell) Outcome {
+		mu.Lock()
+		placed[i] = true
+		mu.Unlock()
+		return testOutcome(i)
+	}), ExecOptions{Parallel: 4, Checkpoint: ck2, OnRecord: func(r SweepRecord) {
+		mu.Lock()
+		resRecs = append(resRecs, r)
+		mu.Unlock()
+	}})
+
+	if sum2.Resumed != 5 {
+		t.Fatalf("resumed = %d, want 5", sum2.Resumed)
+	}
+	for i := 0; i < 5; i++ {
+		if placed[i] {
+			t.Fatalf("cell %d re-executed despite being journaled", i)
+		}
+	}
+	for i := 5; i < n; i++ {
+		if !placed[i] {
+			t.Fatalf("cell %d not executed on resume", i)
+		}
+	}
+	if sum2.Errors != 0 {
+		t.Fatalf("resumed run errors = %d", sum2.Errors)
+	}
+	for i, o := range outs2 {
+		if o.Wire == nil {
+			t.Fatalf("outs2[%d] missing result", i)
+		}
+	}
+
+	// Replayed records stream before any live cell's.
+	for pos, r := range resRecs[:sum2.Resumed] {
+		if r.Index >= 5 {
+			t.Fatalf("record at stream position %d is live cell %d; replayed cells must stream first", pos, r.Index)
+		}
+	}
+
+	if got := encodeSorted(t, resRecs, n); !bytes.Equal(got, refBytes) {
+		t.Fatalf("resumed stream differs from uninterrupted run:\nresumed:\n%s\nreference:\n%s", got, refBytes)
+	}
+
+	// Fully successful resume removes the journal; the next run is cold.
+	if _, err := os.Stat(ck2.Path()); !os.IsNotExist(err) {
+		t.Fatalf("journal not removed after successful sweep: %v", err)
+	}
+}
+
+func TestCheckpointRejectsOtherPlan(t *testing.T) {
+	dir := t.TempDir()
+	pA := testPlan(4)
+	path := filepath.Join(dir, "shared.ndjson")
+	ck, err := OpenCheckpoint(path, pA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.append(2, testOutcome(2))
+	ck.finish(false)
+
+	// A different grid at the same path starts cold.
+	pB := testPlan(5)
+	ck2, err := OpenCheckpoint(path, pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Resumed() != 0 {
+		t.Fatalf("foreign journal replayed %d cells", ck2.Resumed())
+	}
+	ck2.finish(false)
+}
+
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	p := testPlan(4)
+	path := CheckpointPath(dir, p)
+	ck, err := OpenCheckpoint(path, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.append(0, testOutcome(0))
+	ck.append(3, testOutcome(3))
+	ck.finish(false)
+
+	// Simulate a kill mid-write: a torn, unterminated record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":1,"wire":{"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Resumed() != 2 {
+		t.Fatalf("resumed = %d, want the 2 intact records", ck2.Resumed())
+	}
+	if _, ok := ck2.lookup(1); ok {
+		t.Fatal("torn record replayed")
+	}
+	for _, i := range []int{0, 3} {
+		o, ok := ck2.lookup(i)
+		if !ok || o.Wire == nil || o.Wire.Name != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("lookup(%d) = %+v, %v", i, o, ok)
+		}
+	}
+	ck2.finish(false)
+
+	// Compaction rewrote the file: reopening sees a clean journal with no
+	// torn bytes left behind.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "torn") {
+		t.Fatalf("torn line survived compaction:\n%s", raw)
+	}
+}
+
+func TestDecodeStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	enc.Record(SweepRecord{Index: 1, Cached: true, Result: testResult(1)})
+	enc.Record(SweepRecord{Index: 0, Error: Errf(500, CodeSimFailed, "", "nope")})
+	enc.Trailer(2)
+
+	recs, trailer, err := DecodeStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !trailer.Done || trailer.Jobs != 2 ||
+		trailer.CachedCells != 1 || trailer.Errors != 1 {
+		t.Fatalf("recs=%d trailer=%+v", len(recs), trailer)
+	}
+	if recs[0].Index != 1 || !recs[0].Cached || recs[0].Result.Name != "cell-1" {
+		t.Fatalf("recs[0] = %+v", recs[0])
+	}
+	if recs[1].Error == nil || recs[1].Error.Code != CodeSimFailed {
+		t.Fatalf("recs[1] = %+v", recs[1])
+	}
+}
+
+func TestDecodeStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	NewEncoder(&buf).Record(SweepRecord{Index: 0, Result: testResult(0)})
+	if _, _, err := DecodeStream(&buf); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncation error", err)
+	}
+}
+
+func TestDecodeStreamRejectsDataAfterTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	enc.Trailer(0)
+	enc.Record(SweepRecord{Index: 0, Result: testResult(0)})
+	if _, _, err := DecodeStream(&buf); err == nil ||
+		!strings.Contains(err.Error(), "after done trailer") {
+		t.Fatalf("err = %v, want data-after-trailer error", err)
+	}
+}
+
+func TestPlanFingerprintDistinguishesGrids(t *testing.T) {
+	a, b := testPlan(3), testPlan(3)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical grids fingerprint differently")
+	}
+	if a.Fingerprint() == testPlan(4).Fingerprint() {
+		t.Fatal("different lengths share a fingerprint")
+	}
+	c := testPlan(3, 1) // same length, one cell keyless
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different keys share a fingerprint")
+	}
+}
