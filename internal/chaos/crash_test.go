@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCrashAtOpResume is the deterministic replacement for the CI
+// SIGKILL-timing scenario: instead of killing a gateway process and
+// hoping the journal is mid-sweep, the chaos FS freezes the journal at
+// an exact mutating op — torn final line included — and a second
+// gateway resumes from it. Swept over crash points, this covers every
+// resume shape from "crashed during compaction, nothing journaled" to
+// "crashed after the last append, everything replayed".
+func TestCrashAtOpResume(t *testing.T) {
+	env, err := NewEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	// Journal ops: 1 CreateTemp, 2 header write, 3 rename into place,
+	// then one append per completed cell (4..3+N), then the success
+	// Remove. Crashing at each lands a different prefix.
+	for _, op := range []int64{1, 2, 3, 4, 6, int64(3 + env.N), int64(4 + env.N)} {
+		sched := Schedule{
+			Profile:     "crash",
+			Env:         env,
+			MaxAttempts: 3,
+			Backoff:     100 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			Checkpoint:  true,
+			CrashAtOp:   op,
+			Fanout:      1, // deterministic append order → exact prefix arithmetic below
+		}
+		rep, err := Run(900+op, sched, DefaultInvariants())
+		if err != nil {
+			t.Fatalf("crash at op %d: %v", op, err)
+		}
+		if rep.Failed() {
+			t.Errorf("crash at op %d:\n%s", op, rep)
+			continue
+		}
+		// The invariants already require resumed == intact prefix; with
+		// Fanout 1 the prefix itself is exactly predictable.
+		want := int64(0)
+		if op > 3 {
+			want = op - 4 // ops 4..3+N are appends; the crashing one is torn
+		}
+		if op > int64(3+env.N) {
+			want = int64(env.N) // crash landed after the last append
+		}
+		if got := int64(rep.JournalPrefix); got != want {
+			t.Errorf("crash at op %d: journal prefix %d, want %d", op, got, want)
+		}
+		if got := rep.ResumeCounters.Resumed; got != want {
+			t.Errorf("crash at op %d: resumed %d, want %d", op, got, want)
+		}
+	}
+}
+
+// TestCrashResumeDeterministic: the same seed and crash point must
+// reproduce the same journal prefix and the same resume — the property
+// that makes a failing crash seed replayable.
+func TestCrashResumeDeterministic(t *testing.T) {
+	env, err := NewEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	run := func() (int, int64) {
+		sched := Schedule{
+			Profile: "crash", Env: env,
+			MaxAttempts: 3, Backoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
+			Checkpoint: true, CrashAtOp: 7, Fanout: 1,
+		}
+		rep, err := Run(3, sched, DefaultInvariants())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("%s", rep)
+		}
+		return rep.JournalPrefix, rep.ResumeCounters.Resumed
+	}
+	p1, r1 := run()
+	p2, r2 := run()
+	if p1 != p2 || r1 != r2 {
+		t.Fatalf("crash-at-op-7 not reproducible: (%d,%d) then (%d,%d)", p1, r1, p2, r2)
+	}
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+)
+
+// ErrFS marks filesystem failures injected by a chaos FS.
+var ErrFS = errors.New("chaos: injected fs failure")
+
+// FS wraps a sweep.FS and injects deterministic journal failures by
+// operation count. Mutating operations — CreateTemp, Write, Rename,
+// Remove — are numbered 1, 2, 3, … in the order the journal performs
+// them; reads pass through untouched. Because the checkpoint serializes
+// its writes behind a mutex, the numbering is reproducible run to run.
+//
+// CrashAtOp freezes the journal the way a process crash would: the write
+// that reaches the threshold persists only a torn prefix and fails, and
+// every later mutating op fails outright. The sweep itself keeps running
+// (checkpoint appends are best-effort by contract); what's left on disk
+// is a clean record prefix plus a torn tail — exactly the artifact a
+// resume must cope with.
+type FS struct {
+	// Base is the real filesystem; nil means sweep.OSFS.
+	Base sweep.FS
+	// CrashAtOp, when > 0, is the 1-based mutating-op number at which the
+	// journal "crashes" (torn write, then everything fails).
+	CrashAtOp int64
+	// FailRenames makes every Rename fail — the compaction-failure
+	// regression knob.
+	FailRenames bool
+
+	ops atomic.Int64
+}
+
+// Ops reports how many mutating operations the journal has performed.
+func (f *FS) Ops() int64 { return f.ops.Load() }
+
+func (f *FS) base() sweep.FS {
+	if f.Base != nil {
+		return f.Base
+	}
+	return sweep.OSFS
+}
+
+// step numbers one mutating op and reports whether it is at or past the
+// crash point, and whether it is exactly the crashing op (which gets the
+// torn prefix write).
+func (f *FS) step() (crashed, boundary bool) {
+	if f.CrashAtOp <= 0 {
+		f.ops.Add(1)
+		return false, false
+	}
+	n := f.ops.Add(1)
+	return n >= f.CrashAtOp, n == f.CrashAtOp
+}
+
+func (f *FS) Open(name string) (sweep.File, error) { return f.base().Open(name) }
+
+func (f *FS) OpenAppend(name string) (sweep.File, error) {
+	if f.CrashAtOp > 0 && f.ops.Load() >= f.CrashAtOp {
+		return nil, ErrFS
+	}
+	fl, err := f.base().OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{File: fl, fs: f}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (sweep.File, error) {
+	if crashed, _ := f.step(); crashed {
+		return nil, ErrFS
+	}
+	fl, err := f.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{File: fl, fs: f}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if crashed, _ := f.step(); crashed {
+		return ErrFS
+	}
+	if f.FailRenames {
+		return ErrFS
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if crashed, _ := f.step(); crashed {
+		return ErrFS
+	}
+	return f.base().Remove(name)
+}
+
+// chaosFile intercepts writes for the crash schedule; reads and Name
+// pass through.
+type chaosFile struct {
+	sweep.File
+	fs *FS
+}
+
+func (c *chaosFile) Write(p []byte) (int, error) {
+	crashed, boundary := c.fs.step()
+	if !crashed {
+		return c.File.Write(p)
+	}
+	if boundary && len(p) > 0 {
+		// The crashing write persists half its bytes: a torn final line,
+		// as a real crash mid-write leaves behind.
+		n, _ := c.File.Write(p[:len(p)/2])
+		return n, ErrFS
+	}
+	return 0, ErrFS
+}

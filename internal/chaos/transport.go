@@ -1,0 +1,264 @@
+// Package chaos is the deterministic fault-injection harness for the
+// distributed layer: a seeded Transport that corrupts the gateway→backend
+// wire, a seeded FS that corrupts the checkpoint journal, and a driver
+// (Run) that executes a sweep under both while an invariant suite checks
+// the end-to-end contracts — no lost or duplicated cells, streams
+// byte-identical to a fault-free run, resume replaying exactly the
+// journaled prefix, metrics accounting for every injected fault.
+//
+// Determinism is the point: every fault decision is a pure function of
+// (seed, request body, per-body attempt number), never of arrival order,
+// so a failing seed replays the same fault schedule no matter how the
+// scheduler interleaves the sweep's fan-out. A CI failure prints its
+// seed; `go test ./internal/chaos -chaos.seeds=1 -chaos.seed=N` replays
+// it.
+package chaos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Plan is the per-attempt fault mix a Transport injects. Probabilities
+// are independent thresholds on one uniform draw, evaluated in field
+// order, so they may sum past 1.0 (earlier kinds then mask later ones).
+// Latency is drawn separately and composes with a passed-through
+// request.
+type Plan struct {
+	// PConnRefused fails the attempt before any bytes move, as a dialed
+	// connection refusal would.
+	PConnRefused float64
+	// PCutBody forwards the request but tears the response mid-body: the
+	// client sees a prefix of the real bytes, then a read error.
+	PCutBody float64
+	// P429 synthesizes a dvsd queue_full shed (backpressure) without
+	// touching the backend.
+	P429 float64
+	// P500 synthesizes a non-wire-format 500, as a crashed backend or an
+	// intermediate proxy would produce.
+	P500 float64
+	// PLatency delays a passed-through request by a deterministic
+	// fraction of MaxLatency.
+	PLatency   float64
+	MaxLatency time.Duration
+	// RetryAfterMS is the hint carried by injected 429s. Default 1.
+	RetryAfterMS int
+}
+
+// Counts tallies the faults one Transport actually injected, the ground
+// truth the metrics-accounting invariant compares gateway counters
+// against.
+type Counts struct {
+	ConnRefused int64 // attempts failed before any bytes moved
+	CutBody     int64 // responses torn mid-body
+	Shed429     int64 // synthesized queue_full sheds
+	Err500      int64 // synthesized non-wire 500s
+	Latency     int64 // passed-through attempts that were delayed
+	Passed      int64 // attempts forwarded and returned untouched
+}
+
+// Faults is the number of injected attempt failures — everything a
+// gateway must absorb with a retry, shed wait, hedge, or local fallback.
+// Latency delays are not failures.
+func (c Counts) Faults() int64 { return c.ConnRefused + c.CutBody + c.Shed429 + c.Err500 }
+
+func (c Counts) String() string {
+	return fmt.Sprintf("conn_refused=%d cut_body=%d shed_429=%d err_500=%d latency=%d passed=%d",
+		c.ConnRefused, c.CutBody, c.Shed429, c.Err500, c.Latency, c.Passed)
+}
+
+// errInjected marks transport-level injected failures.
+type errInjected struct{ kind string }
+
+func (e errInjected) Error() string { return "chaos: injected " + e.kind }
+
+// Transport wraps an http.RoundTripper and replays a seeded fault
+// schedule. The decision for an attempt is derived from
+// hash(seed ‖ body ‖ n) where n counts prior attempts with the same
+// body — so the schedule is a property of the workload, not of request
+// arrival order, and survives any interleaving of the sweep's fan-out.
+// Each injected fault is also recorded as a span event on the request's
+// trace, so /debug/traces shows what the harness did to a cell.
+type Transport struct {
+	// Base performs real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Seed selects the fault schedule.
+	Seed int64
+	// Plan is the fault mix.
+	Plan Plan
+
+	connRefused atomic.Int64
+	cutBody     atomic.Int64
+	shed429     atomic.Int64
+	err500      atomic.Int64
+	latency     atomic.Int64
+	passed      atomic.Int64
+
+	mu       sync.Mutex
+	attempts map[[sha256.Size]byte]uint64
+}
+
+// Counts snapshots the injected-fault tallies.
+func (t *Transport) Counts() Counts {
+	return Counts{
+		ConnRefused: t.connRefused.Load(),
+		CutBody:     t.cutBody.Load(),
+		Shed429:     t.shed429.Load(),
+		Err500:      t.err500.Load(),
+		Latency:     t.latency.Load(),
+		Passed:      t.passed.Load(),
+	}
+}
+
+// draw derives uniform [0,1) number `lane` for attempt n of a body.
+func (t *Transport) draw(key [sha256.Size]byte, n uint64, lane byte) float64 {
+	var buf [sha256.Size + 8 + 8 + 1]byte
+	copy(buf[:], key[:])
+	binary.LittleEndian.PutUint64(buf[sha256.Size:], uint64(t.Seed))
+	binary.LittleEndian.PutUint64(buf[sha256.Size+8:], n)
+	buf[sha256.Size+16] = lane
+	h := sha256.Sum256(buf[:])
+	return float64(binary.LittleEndian.Uint64(h[:8])>>11) / float64(1<<53)
+}
+
+// RoundTrip implements http.RoundTripper with fault injection.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Key on the request content, not the URL: a cell retried against a
+	// different ring backend is the same logical attempt stream.
+	key := sha256.Sum256(body)
+	t.mu.Lock()
+	if t.attempts == nil {
+		t.attempts = make(map[[sha256.Size]byte]uint64)
+	}
+	n := t.attempts[key]
+	t.attempts[key] = n + 1
+	t.mu.Unlock()
+
+	sp := obs.SpanFrom(req.Context())
+	u := t.draw(key, n, 0)
+	switch {
+	case u < t.Plan.PConnRefused:
+		t.connRefused.Add(1)
+		sp.Event("chaos.conn_refused")
+		return nil, errInjected{"connection refused"}
+	case u < t.Plan.PConnRefused+t.Plan.PCutBody:
+		t.cutBody.Add(1)
+		sp.Event("chaos.cut_body")
+		return t.tornRoundTrip(req, body)
+	case u < t.Plan.PConnRefused+t.Plan.PCutBody+t.Plan.P429:
+		t.shed429.Add(1)
+		sp.Event("chaos.shed_429")
+		return synthesize(req, http.StatusTooManyRequests, "application/json",
+			fmt.Sprintf(`{"error":{"code":"queue_full","message":"chaos: injected backpressure","retry_after_ms":%d}}`+"\n",
+				t.retryAfterMS())), nil
+	case u < t.Plan.PConnRefused+t.Plan.PCutBody+t.Plan.P429+t.Plan.P500:
+		t.err500.Add(1)
+		sp.Event("chaos.err_500")
+		return synthesize(req, http.StatusInternalServerError, "text/plain",
+			"chaos: injected backend crash\n"), nil
+	}
+	if lu := t.draw(key, n, 1); lu < t.Plan.PLatency && t.Plan.MaxLatency > 0 {
+		t.latency.Add(1)
+		sp.Event("chaos.latency")
+		// The delay itself is deterministic per (seed, body, attempt);
+		// only its interleaving with other cells is the scheduler's.
+		d := time.Duration(t.draw(key, n, 2) * float64(t.Plan.MaxLatency))
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	} else {
+		t.passed.Add(1)
+	}
+	return t.base().RoundTrip(restore(req, body))
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) retryAfterMS() int {
+	if t.Plan.RetryAfterMS > 0 {
+		return t.Plan.RetryAfterMS
+	}
+	return 1
+}
+
+// restore re-arms the consumed request body for the real round trip.
+func restore(req *http.Request, body []byte) *http.Request {
+	r2 := req.Clone(req.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	return r2
+}
+
+// tornRoundTrip performs the real round trip, then replaces the response
+// body with a reader that yields half the real bytes and fails — the
+// client-visible shape of a connection dying mid-response.
+func (t *Transport) tornRoundTrip(req *http.Request, body []byte) (*http.Response, error) {
+	resp, err := t.base().RoundTrip(restore(req, body))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, errInjected{"cut (response already failing)"}
+	}
+	resp.Body = io.NopCloser(&tornReader{data: raw[:len(raw)/2]})
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// tornReader yields its data, then a non-EOF error.
+type tornReader struct {
+	data []byte
+	off  int
+}
+
+func (r *tornReader) Read(p []byte) (int, error) {
+	if r.off < len(r.data) {
+		n := copy(p, r.data[r.off:])
+		r.off += n
+		return n, nil
+	}
+	return 0, errInjected{"mid-body cut"}
+}
+
+// synthesize fabricates an HTTP response without touching the backend.
+func synthesize(req *http.Request, status int, ctype, body string) *http.Response {
+	return &http.Response{
+		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode: status,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1, ProtoMinor: 1,
+		Header:        http.Header{"Content-Type": []string{ctype}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

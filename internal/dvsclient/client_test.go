@@ -193,3 +193,99 @@ func TestPlacerHonorsContextCancellation(t *testing.T) {
 		t.Fatalf("out = %+v", out)
 	}
 }
+
+// TestDoMidBodyCutIsTransportRetry: a backend that dies after the status
+// line — headers sent, body short of its declared length — must classify
+// as a transport retry, not as a decode failure or a success.
+func TestDoMidBodyCutIsTransportRetry(t *testing.T) {
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "4096")
+		fmt.Fprint(w, `{"cached":true,"result":{"name":"ft`)
+	})
+	res := Do(context.Background(), http.DefaultClient, url, []byte(`{}`), "")
+	if !res.Retry || !res.Transport || res.Ok || res.AE != nil {
+		t.Fatalf("mid-body cut classified as %+v, want transport retry", res)
+	}
+}
+
+// TestDoContextCanceledMidBody: cancellation that lands after the status
+// line but before the body completes hits the ReadAll path, not the
+// request path — it must still classify as a transport retry so the
+// caller's ladder (which checks its own ctx before re-asking) owns the
+// decision to stop.
+func TestDoContextCanceledMidBody(t *testing.T) {
+	headersOut := make(chan struct{})
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"cached":false,"result":{"na`)
+		w.(http.Flusher).Flush()
+		close(headersOut)
+		<-r.Context().Done() // hold the body open until the client gives up
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-headersOut
+		cancel()
+	}()
+	res := Do(ctx, http.DefaultClient, url, []byte(`{}`), "")
+	if !res.Retry || !res.Transport {
+		t.Fatalf("mid-body cancellation classified as %+v, want transport retry", res)
+	}
+}
+
+// TestPlacerCanceledMidBodyDoesNotBurnRetries: when the context dies
+// mid-body, the Placer must surface canceled from its loop-top check —
+// one backend call, a typed canceled outcome, no retry storm against a
+// dead deadline.
+func TestPlacerCanceledMidBodyDoesNotBurnRetries(t *testing.T) {
+	var calls atomic.Int64
+	headersOut := make(chan struct{})
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"cached":false,"result":{"na`)
+			w.(http.Flusher).Flush()
+			close(headersOut)
+			<-r.Context().Done()
+			return
+		}
+		fmt.Fprintln(w, okBody())
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-headersOut
+		cancel()
+	}()
+	p := &Placer{BaseURL: url, MaxAttempts: 5, Backoff: time.Millisecond}
+	out := p.Place(ctx, 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err == nil || out.Err.Code != sweep.CodeCanceled {
+		t.Fatalf("out = %+v, want canceled", out)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("calls = %d; a canceled context must not burn retries", got)
+	}
+}
+
+// TestPlacerDeadlineMidBodyClassifiesDeadline: same shape, but the
+// context dies by deadline — the outcome must carry deadline_exceeded,
+// not canceled and not the generic exhausted-attempts error.
+func TestPlacerDeadlineMidBodyClassifiesDeadline(t *testing.T) {
+	var calls atomic.Int64
+	url := serve(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"cached":false,"result":{"na`)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	p := &Placer{BaseURL: url, MaxAttempts: 5, Backoff: time.Millisecond}
+	out := p.Place(ctx, 0, sweep.Cell{Body: []byte(`{}`)})
+	if out.Err == nil || out.Err.Code != sweep.CodeDeadlineExceeded {
+		t.Fatalf("out = %+v, want deadline_exceeded", out)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("calls = %d; an expired deadline must not burn retries", got)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net"
 	"net/http"
@@ -82,6 +83,9 @@ type Options struct {
 	// Backoff is the base retry delay; attempt n waits Backoff·2ⁿ⁻¹ plus
 	// up to 50% jitter. Default 50ms.
 	Backoff time.Duration
+	// MaxBackoff caps the doubled retry delay. Default 5s. Fault-injection
+	// tests shrink it so retry storms resolve in milliseconds.
+	MaxBackoff time.Duration
 	// HedgeAfter launches a duplicate request to the next backend on the
 	// ring when the home backend hasn't answered within this delay; the
 	// first answer wins. 0 disables hedging.
@@ -105,6 +109,10 @@ type Options struct {
 	// remainder when the same sweep is re-posted. Empty disables
 	// checkpointing.
 	CheckpointDir string
+	// CheckpointFS is the filesystem the journal runs on; nil means the
+	// real one. Fault-injection tests (internal/chaos) substitute a faulty
+	// FS to drive torn writes and crash-at-op-N through the journal.
+	CheckpointFS sweep.FS
 
 	// ProbeInterval is the health-check period (default 2s); ProbeTimeout
 	// bounds one probe (default 1s); FailAfter is the consecutive-failure
@@ -151,6 +159,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
 	}
 	if o.ShedBudget <= 0 {
 		o.ShedBudget = 30 * time.Second
@@ -379,10 +390,17 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx = obs.WithTracer(ctx, g.tr)
 
 	// Checkpointing is best-effort: a journal that cannot be opened must
-	// not fail the sweep, it only costs re-execution after a crash.
+	// not fail the sweep, it only costs re-execution after a crash. But
+	// the failure is surfaced — logged and counted — because a sweep that
+	// silently runs uncheckpointed is a resume that silently won't work.
 	var ckpt *sweep.Checkpoint
 	if g.opts.CheckpointDir != "" {
-		ckpt, _ = sweep.OpenCheckpoint(sweep.CheckpointPath(g.opts.CheckpointDir, plan), plan)
+		var cerr error
+		ckpt, cerr = sweep.OpenCheckpointFS(g.opts.CheckpointFS, sweep.CheckpointPath(g.opts.CheckpointDir, plan), plan)
+		if cerr != nil {
+			g.met.ckptErr.Add(1)
+			log.Printf("dvsgw: sweep running uncheckpointed: %v", cerr)
+		}
 	}
 
 	// Same stream contract as a single backend: status 200 commits
@@ -524,13 +542,13 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // backoff is the delay before retry number n (1-based): Backoff·2ⁿ⁻¹
-// capped at 5s, plus up to 50% jitter so a fleet-wide failure does not
-// resynchronize every cell's retry. Doubling stops at the cap instead of
-// shifting blindly: a naive Backoff<<(n-1) wraps negative for the large
-// n a user-set -retries allows, sails under the cap check, and feeds
-// rand.Int63n a non-positive argument (a panic).
+// capped at MaxBackoff, plus up to 50% jitter so a fleet-wide failure
+// does not resynchronize every cell's retry. Doubling stops at the cap
+// instead of shifting blindly: a naive Backoff<<(n-1) wraps negative for
+// the large n a user-set -retries allows, sails under the cap check, and
+// feeds rand.Int63n a non-positive argument (a panic).
 func (g *Gateway) backoff(n int) time.Duration {
-	const maxDelay = 5 * time.Second
+	maxDelay := g.opts.MaxBackoff
 	d := g.opts.Backoff
 	for i := 1; i < n && d < maxDelay; i++ {
 		d <<= 1

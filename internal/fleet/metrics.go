@@ -45,6 +45,34 @@ type gwMetrics struct {
 	shedWait atomic.Int64 // waits on a backend 429 (backpressure, not failure)
 	local    atomic.Int64 // cells executed in-process (degradation floor)
 	resumed  atomic.Int64 // cells replayed from a checkpoint journal
+	ckptErr  atomic.Int64 // checkpoint journals that failed to open
+}
+
+// Counters is a point-in-time snapshot of the gateway's fleet-level
+// counters — the programmatic twin of the dvsgw_* Prometheus series, so
+// invariant checkers (internal/chaos) can assert fault accounting
+// without scraping the text exposition.
+type Counters struct {
+	Retried          int64 // attempts beyond each cell's first
+	Hedged           int64 // hedge requests launched
+	ShedWaits        int64 // waits taken on backend 429 backpressure
+	Local            int64 // cells run in-process (degradation floor)
+	Resumed          int64 // cells replayed from a checkpoint journal
+	CheckpointErrors int64 // journals that could not be opened
+}
+
+// Counters snapshots the fleet-level counters. Each field is read
+// atomically; the snapshot is not a consistent cut across fields, which
+// is fine for monotone counters read at quiescence.
+func (g *Gateway) Counters() Counters {
+	return Counters{
+		Retried:          g.met.retried.Load(),
+		Hedged:           g.met.hedged.Load(),
+		ShedWaits:        g.met.shedWait.Load(),
+		Local:            g.met.local.Load(),
+		Resumed:          g.met.resumed.Load(),
+		CheckpointErrors: g.met.ckptErr.Load(),
+	}
 }
 
 func newGwMetrics() *gwMetrics {
@@ -100,6 +128,9 @@ func (m *gwMetrics) render(w io.Writer, p *Pool, inflight, capacity int) {
 	fmt.Fprintln(w, "# HELP dvsgw_resumed_cells_total Sweep cells replayed from a checkpoint journal instead of re-executed.")
 	fmt.Fprintln(w, "# TYPE dvsgw_resumed_cells_total counter")
 	fmt.Fprintf(w, "dvsgw_resumed_cells_total %d\n", m.resumed.Load())
+	fmt.Fprintln(w, "# HELP dvsgw_checkpoint_errors_total Checkpoint journals that could not be opened (the sweep ran uncheckpointed).")
+	fmt.Fprintln(w, "# TYPE dvsgw_checkpoint_errors_total counter")
+	fmt.Fprintf(w, "dvsgw_checkpoint_errors_total %d\n", m.ckptErr.Load())
 
 	fmt.Fprintln(w, "# HELP dvsgw_queue_depth Gateway requests currently admitted.")
 	fmt.Fprintln(w, "# TYPE dvsgw_queue_depth gauge")

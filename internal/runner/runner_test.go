@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
@@ -342,5 +343,45 @@ func TestRunContextCancelledWaiterLeavesCacheIntact(t *testing.T) {
 	}
 	if st := r.Stats(); st.Runs != 1 || st.Hits != 1 {
 		t.Fatalf("runs=%d hits=%d, want 1/1 (cancelled waiter counts as neither)", st.Runs, st.Hits)
+	}
+}
+
+// TestPropertySweepWorkersInvariance: sweep output is a function of the
+// job list alone, not of -workers — the determinism guarantee the
+// service and fleet layers inherit. Random seeded cells across the full
+// workload/strategy registries, with duplicates mixed in so coalescing
+// and cache hits are under test too; results must match a serial sweep
+// exactly at every parallelism.
+func TestPropertySweepWorkersInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	codes := npb.Codes()
+	regs := core.Strategies()
+	cfg := quickCfg()
+	var jobs []Job
+	for len(jobs) < 14 {
+		w, err := npb.New(codes[rng.Intn(len(codes))], npb.ClassS, []int{1, 2, 4}[rng.Intn(3)])
+		if err != nil {
+			continue // some kernels constrain rank counts; redraw
+		}
+		jobs = append(jobs, Job{Workload: w, Strategy: regs[rng.Intn(len(regs))].Example(), Config: cfg})
+	}
+	jobs = append(jobs, jobs[rng.Intn(len(jobs))], jobs[rng.Intn(len(jobs))])
+
+	ref := New(1).Sweep(jobs)
+	for _, workers := range []int{2, 8} {
+		outs := New(workers).Sweep(jobs)
+		for i := range outs {
+			if (outs[i].Err == nil) != (ref[i].Err == nil) {
+				t.Fatalf("workers=%d job %d: err %v vs serial %v", workers, i, outs[i].Err, ref[i].Err)
+			}
+			if outs[i].Err != nil {
+				continue
+			}
+			a, b := outs[i].Result, ref[i].Result
+			if a.Name != b.Name || a.Strategy != b.Strategy || a.Elapsed != b.Elapsed || a.Energy != b.Energy {
+				t.Errorf("workers=%d job %d (%s/%s): diverged from serial: elapsed %v vs %v, energy %v vs %v",
+					workers, i, a.Name, a.Strategy, a.Elapsed, b.Elapsed, a.Energy, b.Energy)
+			}
+		}
 	}
 }

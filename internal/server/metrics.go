@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/runner"
@@ -40,6 +41,8 @@ type metrics struct {
 	requests map[string]int64 // "path|status" → count
 	latency  map[string]*histogram
 	cells    int64 // sweep grid cells streamed
+
+	ckptErr atomic.Int64 // checkpoint journals that failed to open
 }
 
 func newMetrics() *metrics {
@@ -109,6 +112,10 @@ func (m *metrics) render(w io.Writer, g *gate, st runner.Stats) {
 	fmt.Fprintln(w, "# HELP dvsd_sweep_cells_total Sweep grid cells streamed.")
 	fmt.Fprintln(w, "# TYPE dvsd_sweep_cells_total counter")
 	fmt.Fprintf(w, "dvsd_sweep_cells_total %d\n", m.cells)
+
+	fmt.Fprintln(w, "# HELP dvsd_checkpoint_errors_total Checkpoint journals that could not be opened (the sweep ran uncheckpointed).")
+	fmt.Fprintln(w, "# TYPE dvsd_checkpoint_errors_total counter")
+	fmt.Fprintf(w, "dvsd_checkpoint_errors_total %d\n", m.ckptErr.Load())
 
 	fmt.Fprintln(w, "# HELP dvsd_queue_depth Requests currently admitted.")
 	fmt.Fprintln(w, "# TYPE dvsd_queue_depth gauge")

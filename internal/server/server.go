@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"sync"
@@ -60,6 +61,10 @@ type Options struct {
 	// re-posting an interrupted sweep replays them instead of
 	// recomputing. Empty disables checkpointing.
 	CheckpointDir string
+	// CheckpointFS is the filesystem the journal runs on; nil means the
+	// real one. Fault-injection tests (internal/chaos) substitute a faulty
+	// FS to drive torn writes and crash-at-op-N through the journal.
+	CheckpointFS sweep.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -292,10 +297,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 
 	// Checkpointing is best-effort: a journal that cannot be opened must
-	// not fail the sweep, it only costs re-execution after a crash.
+	// not fail the sweep, it only costs re-execution after a crash. The
+	// failure is still surfaced — logged, counted, and marked on the
+	// request span — because a sweep that silently runs uncheckpointed is
+	// a resume that silently won't work.
 	var ckpt *sweep.Checkpoint
 	if s.opts.CheckpointDir != "" {
-		ckpt, _ = sweep.OpenCheckpoint(sweep.CheckpointPath(s.opts.CheckpointDir, plan), plan)
+		var cerr error
+		ckpt, cerr = sweep.OpenCheckpointFS(s.opts.CheckpointFS, sweep.CheckpointPath(s.opts.CheckpointDir, plan), plan)
+		if cerr != nil {
+			s.met.ckptErr.Add(1)
+			sp.Event("checkpoint.open_failed")
+			log.Printf("dvsd: sweep running uncheckpointed: %v", cerr)
+		}
 	}
 
 	// Stream: one record per cell in completion order, then a trailer.

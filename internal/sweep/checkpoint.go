@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -46,9 +47,10 @@ type checkpointRecord struct {
 // over the same plan would interleave appends.
 type Checkpoint struct {
 	path string
+	fs   FS
 
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	w       *bufio.Writer
 	done    map[int]Outcome
 	resumed int
@@ -68,10 +70,20 @@ func CheckpointPath(dir string, p *Plan) string {
 // intact: loading compacts it (temp file + rename, the runner.SaveCache
 // discipline) so torn trailing lines don't accumulate.
 func OpenCheckpoint(path string, p *Plan) (*Checkpoint, error) {
-	c := &Checkpoint{path: path, done: make(map[int]Outcome)}
+	return OpenCheckpointFS(nil, path, p)
+}
+
+// OpenCheckpointFS is OpenCheckpoint with an explicit filesystem; a nil
+// fsys means the real one. Fault-injection tests pass a faulty FS to
+// exercise torn writes and compaction failures deterministically.
+func OpenCheckpointFS(fsys FS, path string, p *Plan) (*Checkpoint, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	c := &Checkpoint{path: path, fs: fsys, done: make(map[int]Outcome)}
 
 	var keep []checkpointRecord
-	if f, err := os.Open(path); err == nil {
+	if f, err := fsys.Open(path); err == nil {
 		keep = c.load(f, p)
 		f.Close()
 	} else if !os.IsNotExist(err) {
@@ -81,12 +93,21 @@ func OpenCheckpoint(path string, p *Plan) (*Checkpoint, error) {
 
 	// Rewrite header + surviving records to a temp file and rename it
 	// into place, then reopen for appending: the journal on disk is
-	// always a clean prefix, whatever state the last run died in.
+	// always a clean prefix, whatever state the last run died in. The
+	// deferred Remove guarantees a failed compaction — write, close, or
+	// rename error — never strands the temp file.
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*.ndjson")
+	tmp, err := fsys.CreateTemp(dir, ".ckpt-*.ndjson")
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	tmpName := tmp.Name()
+	renamed := false
+	defer func() {
+		if !renamed {
+			_ = fsys.Remove(tmpName)
+		}
+	}()
 	bw := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(bw)
 	werr := enc.Encode(checkpointHeader{V: checkpointV, Plan: p.Fingerprint(), Cells: p.Len()})
@@ -102,14 +123,14 @@ func OpenCheckpoint(path string, p *Plan) (*Checkpoint, error) {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
+		werr = fsys.Rename(tmpName, path)
+		renamed = werr == nil
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("checkpoint: %w", werr)
+		return nil, fmt.Errorf("checkpoint: compact %s: %w", path, werr)
 	}
 
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -122,7 +143,7 @@ func OpenCheckpoint(path string, p *Plan) (*Checkpoint, error) {
 // returns the surviving records (also populating c.done). Any decode
 // failure — torn line, wrong shape — ends the scan: everything before it
 // is intact, everything after is suspect.
-func (c *Checkpoint) load(f *os.File, p *Plan) []checkpointRecord {
+func (c *Checkpoint) load(f io.Reader, p *Plan) []checkpointRecord {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64<<10), maxCheckpointLine)
 	if !sc.Scan() {
@@ -211,6 +232,6 @@ func (c *Checkpoint) finish(success bool) {
 		c.f = nil
 	}
 	if success {
-		_ = os.Remove(c.path)
+		_ = c.fs.Remove(c.path)
 	}
 }

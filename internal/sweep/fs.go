@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the narrow slice of filesystem the checkpoint journal needs.
+// Production code uses OSFS; tests inject a faulty implementation (see
+// internal/chaos) to drive torn writes, rename failures, and
+// crash-at-op-N through the exact code paths a real sweep exercises.
+type FS interface {
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(name string) (File, error)
+	// CreateTemp creates a new temp file in dir, name from pattern.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// File is the read/write handle FS deals in. Name reports the path the
+// file was opened or created under (needed to rename temp files).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// OSFS is the real filesystem. The zero value is ready to use; a nil FS
+// anywhere in this package means OSFS.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
